@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 12: average sustained utilization of each Imagine component
+ * (arithmetic clusters, host interface, memory, SRF, LRF) during the
+ * four applications, as a percentage of each component's peak.
+ *
+ * Shape targets: different applications stress different components;
+ * LRF utilization tracks arithmetic utilization; memory utilization
+ * stays low everywhere (the bandwidth hierarchy at work).
+ */
+
+#include "bench_util.hh"
+
+using namespace imagine;
+using namespace imagine::bench;
+
+namespace
+{
+
+AppRuns gApps;
+
+void
+BM_Fig12(benchmark::State &state)
+{
+    for (auto _ : state)
+        gApps = runAllApps(MachineConfig::devBoard());
+    (void)state;
+}
+BENCHMARK(BM_Fig12)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void
+row(const char *name, const apps::AppResult &r)
+{
+    MachineConfig cfg;
+    double gopsPeak = r.run.gflops > 0.7 * r.run.gops
+                          ? cfg.peakFlops() / 1e9
+                          : cfg.peakOps() / 1e9;
+    double alu = (r.run.gflops > 0.7 * r.run.gops ? r.run.gflops
+                                                  : r.run.gops) /
+                 gopsPeak;
+    double hi = r.run.hostMips / 20.0;
+    double mem = r.run.memGBs / (cfg.peakMemBytes() / 1e9);
+    double srf = r.run.srfGBs / (cfg.peakSrfBytes() / 1e9);
+    double lrf = r.run.lrfGBs /
+                 (cfg.peakLrfWordsPerCycle() * 4.0 * cfg.coreClockHz /
+                  1e9);
+    std::printf("%-8s%9.1f%%%9.1f%%%9.1f%%%9.1f%%%9.1f%%\n", name,
+                100 * alu, 100 * hi, 100 * mem, 100 * srf, 100 * lrf);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runGoogleBenchmark(argc, argv);
+
+    header("Figure 12: Average sustained utilization of Imagine "
+           "components (% of each component's peak)");
+    std::printf("%-8s%10s%10s%10s%10s%10s\n", "App", "GOPS", "HostIF",
+                "MEM", "SRF", "LRF");
+    row("DEPTH", gApps.depth);
+    row("MPEG", gApps.mpeg);
+    row("QRD", gApps.qrd);
+    row("RTSL", gApps.rtsl);
+    std::printf("\nPaper shape: utilizations span orders of magnitude "
+                "per app (hence the log-scale radar plots); memory "
+                "stays far below the compute side.\n");
+    return 0;
+}

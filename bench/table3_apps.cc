@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 3: full-application performance - arithmetic rate, IPC, a
+ * real-time summary, and power - for DEPTH, MPEG, QRD and RTSL.
+ *
+ * Shape targets: MPEG has the highest GOPS; QRD the highest fraction
+ * of peak (it is float-dominated); RTSL is far below the others; all
+ * three video applications exceed real-time rates; applications sit
+ * between roughly 16% and 60% of peak arithmetic rate.
+ */
+
+#include "bench_util.hh"
+
+using namespace imagine;
+using namespace imagine::bench;
+
+namespace
+{
+
+AppRuns gApps;
+
+void
+BM_Table3(benchmark::State &state)
+{
+    for (auto _ : state)
+        gApps = runAllApps(MachineConfig::devBoard());
+    state.counters["DEPTH_GOPS"] = gApps.depth.run.gops;
+    state.counters["MPEG_GOPS"] = gApps.mpeg.run.gops;
+    state.counters["QRD_GFLOPS"] = gApps.qrd.run.gflops;
+    state.counters["RTSL_GOPS"] = gApps.rtsl.run.gops;
+}
+BENCHMARK(BM_Table3)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void
+row(const char *name, const apps::AppResult &r, bool fp,
+    const char *paper)
+{
+    std::printf("%-6s %6.2f %-7s %6.1f %6.2fW  ok=%d  %-44s %s\n", name,
+                fp ? r.run.gflops : r.run.gops,
+                fp ? "GFLOPS" : "GOPS", r.run.ipc, r.run.watts,
+                static_cast<int>(r.validated), r.summary.c_str(),
+                paper);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runGoogleBenchmark(argc, argv);
+
+    header("Table 3: Application performance");
+    std::printf("%-6s %6s %-7s %6s %8s %6s %-44s %s\n", "App", "ALU",
+                "", "IPC", "Power", "", "summary (this reproduction)",
+                "paper");
+    row("DEPTH", gApps.depth, false,
+        "4.91 GOPS, 41.3 IPC, 212 fps, 7.49 W");
+    row("MPEG", gApps.mpeg, false,
+        "7.36 GOPS, 33.3 IPC, 138 fps, 6.80 W");
+    row("QRD", gApps.qrd, true,
+        "4.81 GFLOPS, 40.1 IPC, 326 QRD/s, 7.42 W");
+    row("RTSL", gApps.rtsl, false,
+        "1.30 GOPS, 14.1 IPC, 44.9 fps, 5.91 W");
+
+    double peakOps = 25.6, peakFlops = 8.0;
+    std::printf("\nFraction of peak arithmetic rate (paper: 16%%-60%%, "
+                "RTSL lowest):\n");
+    std::printf("  DEPTH %.0f%%  MPEG %.0f%%  QRD %.0f%%  RTSL %.0f%%\n",
+                100 * gApps.depth.run.gops / peakOps,
+                100 * gApps.mpeg.run.gops / peakOps,
+                100 * gApps.qrd.run.gflops / peakFlops,
+                100 * gApps.rtsl.run.gops / peakOps);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Stereo depth extraction (the paper's motivating application,
+ * section 2.1): runs the full DEPTH pipeline on a synthetic stereo
+ * pair and renders the recovered disparity map as ASCII art.
+ *
+ *   ./examples/stereo_depth
+ */
+
+#include <cstdio>
+
+#include "apps/apps.hh"
+
+using namespace imagine;
+using namespace imagine::apps;
+
+int
+main()
+{
+    ImagineSystem sys(MachineConfig::devBoard());
+    DepthConfig cfg;
+    cfg.width = 512;
+    cfg.height = 46;    // 32 valid output rows
+    cfg.disparities = 8;
+    AppResult r = runDepth(sys, cfg);
+
+    std::printf("%s\nvalidated=%d  cycles=%.2fM  %.2f GOPS  %.2f W\n\n",
+                r.summary.c_str(), static_cast<int>(r.validated),
+                r.run.cycles / 1e6, r.run.gops, r.run.watts);
+
+    // The best-disparity records live where the app stored them: read a
+    // few rows back and visualize disparity per pixel pair.  The output
+    // region layout matches src/apps/depth.cc.
+    const uint32_t RW = static_cast<uint32_t>(cfg.width) / 2;
+    const uint32_t LEN = (RW - 8 * (cfg.disparities - 1)) / 8 * 8;
+    const Addr outBase = 4ull * cfg.height * RW + 2 * LEN;
+    const char shades[] = " .:-=+*#%@";
+    std::printf("recovered disparity map (one char per pixel pair, "
+                "strip-interleaved order):\n");
+    for (int row = 0; row < 16; ++row) {
+        auto rec = sys.memory().readWords(
+            outBase + static_cast<Addr>(2 * row) * 2 * LEN, 2 * LEN);
+        for (uint32_t i = 0; i < 64; ++i) {
+            unsigned d = rec[2 * i + 1] & 0xffff;   // packed disparity
+            std::putchar(shades[(d / 2) % 10]);
+        }
+        std::putchar('\n');
+    }
+    std::printf("\n(each shade level is one disparity step; bands come "
+                "from the scene's region-dependent true disparity)\n");
+    return r.validated ? 0 : 1;
+}

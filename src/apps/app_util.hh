@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small helpers shared by the application implementations.
+ */
+
+#ifndef IMAGINE_APPS_APP_UTIL_HH
+#define IMAGINE_APPS_APP_UTIL_HH
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "sim/log.hh"
+
+namespace imagine::apps
+{
+
+/**
+ * Register a kernel once per system: repeated app runs on the same
+ * system reuse the compiled kernel (and its microcode-store residency).
+ */
+inline uint16_t
+ensureKernel(ImagineSystem &sys, const std::string &name,
+             const std::function<kernelc::KernelGraph()> &make)
+{
+    for (size_t i = 0; i < sys.kernels().size(); ++i)
+        if (name == sys.kernels()[i].name())
+            return static_cast<uint16_t>(i);
+    uint16_t id = sys.registerKernel(make());
+    IMAGINE_ASSERT(name == sys.kernel(id).name(),
+                   "kernel registered under unexpected name");
+    return id;
+}
+
+/** Interleave per-lane strip words into SIMD stream order. */
+inline std::vector<Word>
+interleaveStrips(const std::vector<std::vector<Word>> &strips)
+{
+    size_t n = strips[0].size();
+    std::vector<Word> out(n * strips.size());
+    for (size_t i = 0; i < n; ++i)
+        for (size_t l = 0; l < strips.size(); ++l)
+            out[i * strips.size() + l] = strips[l][i];
+    return out;
+}
+
+/** Extract lane @p l 's strip from a SIMD-ordered word vector. */
+inline std::vector<Word>
+extractStrip(const std::vector<Word> &simd, int l, size_t lanes = 8)
+{
+    std::vector<Word> out;
+    out.reserve(simd.size() / lanes);
+    for (size_t i = static_cast<size_t>(l); i < simd.size(); i += lanes)
+        out.push_back(simd[i]);
+    return out;
+}
+
+} // namespace imagine::apps
+
+#endif // IMAGINE_APPS_APP_UTIL_HH

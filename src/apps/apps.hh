@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The paper's four evaluation applications (section 4), implemented as
+ * StreamC programs over the kernel library and validated against full
+ * golden pipelines:
+ *
+ *  - DEPTH: stereo depth extraction (conv7x7 -> conv3x3 -> per-disparity
+ *    7x7 SAD -> best-disparity update).
+ *  - MPEG: MPEG-2-style encoding of three frames (color conversion,
+ *    block motion estimation, DCT, quantization, zigzag + RLE entropy
+ *    front end, and reconstruction for reference frames).
+ *  - QRD: blocked Householder QR factorization of a 192x96 matrix.
+ *    (The paper's QRD is complex-valued; this reproduction factors a
+ *    real matrix with the identical kernel/stream structure.)
+ *  - RTSL: a programmable-shading rendering pipeline with data-
+ *    dependent batch sizes and host read-backs between stages.
+ *
+ * Each app stages synthetic-but-structured inputs into Imagine memory,
+ * builds its stream program, runs it, and checks the machine's output
+ * bit-for-bit against a golden software pipeline.
+ */
+
+#ifndef IMAGINE_APPS_APPS_HH
+#define IMAGINE_APPS_APPS_HH
+
+#include <string>
+
+#include "core/system.hh"
+#include "streamc/program_builder.hh"
+
+namespace imagine::apps
+{
+
+/** Result common to all applications. */
+struct AppResult
+{
+    RunResult run;
+    bool validated = false;     ///< golden comparison passed
+    double itemsPerSecond = 0;  ///< frames/s (DEPTH, MPEG, RTSL), QRD/s
+    std::string summary;        ///< Table 3 style summary string
+    streamc::BuildStats build;  ///< SDR/MAR reuse statistics (Table 4)
+    size_t programInstrs = 0;
+};
+
+// ---------------------------------------------------------------------
+// DEPTH
+// ---------------------------------------------------------------------
+struct DepthConfig
+{
+    int width = 1024;       ///< pixels per row (multiple of 16)
+    int height = 110;      ///< 96 valid output rows = 16 bands
+    int disparities = 12;   ///< even-pixel candidates 0, 2, ..., 2(n-1)
+    uint64_t seed = 0x0eef;
+};
+AppResult runDepth(ImagineSystem &sys, const DepthConfig &cfg = {});
+
+// ---------------------------------------------------------------------
+// MPEG
+// ---------------------------------------------------------------------
+struct MpegConfig
+{
+    int width = 320;        ///< block-row width divisible by 8 blocks
+    int height = 240;
+    int frames = 3;         ///< first frame intra, rest predicted
+    uint64_t seed = 0x3e60;
+};
+AppResult runMpeg(ImagineSystem &sys, const MpegConfig &cfg = {});
+
+// ---------------------------------------------------------------------
+// QRD
+// ---------------------------------------------------------------------
+struct QrdConfig
+{
+    int rows = 192;
+    int cols = 96;          ///< multiple of the 8-column panel width
+    uint64_t seed = 0x93d;
+};
+AppResult runQrd(ImagineSystem &sys, const QrdConfig &cfg = {});
+
+// ---------------------------------------------------------------------
+// RTSL
+// ---------------------------------------------------------------------
+struct RtslConfig
+{
+    int screen = 192;       ///< square framebuffer edge
+    int triangles = 3840;   ///< procedural scene size
+    int batch = 192;        ///< triangles per pipeline batch
+    uint64_t seed = 0x5713;
+};
+AppResult runRtsl(ImagineSystem &sys, const RtslConfig &cfg = {});
+
+} // namespace imagine::apps
+
+#endif // IMAGINE_APPS_APPS_HH

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * MPEG: an MPEG-2-style encoder over three frames of synthetic video
+ * (paper section 4).  The first frame is intra coded; the following
+ * frames are predicted from the reconstructed previous frame with
+ * block-granularity motion estimation.
+ *
+ * Per frame, per chunk (one row of 8x8 blocks):
+ *   colorConv -> [P: blockSearch x2 over 8 candidate offsets ->
+ *   mcIndex -> indexed gather of the prediction] -> pixSub -> dct8x8 ->
+ *   quantize -> { dequantize -> idct8x8 -> pixAddClamp -> store recon }
+ *            -> { zigzag -> rle (Restart-chained across chunks) ->
+ *                 host reads length -> store bitstream }
+ *
+ * Notes on layout: luma is stored block-major (32 words per 8x8 block),
+ * which makes candidate blocks at whole-block offsets plain shifted
+ * unit-stride streams, and makes motion compensation an indexed gather
+ * with a kernel-generated index stream.  The synthetic video translates
+ * by exactly one block per frame, so the motion search has a correct
+ * answer to find.  RLE run state spans chunk boundaries via kernel
+ * Restart; one sentinel element per lane flushes the final runs.
+ */
+
+#include "apps/apps.hh"
+
+#include "apps/app_util.hh"
+#include "kernels/dct.hh"
+#include "kernels/rle.hh"
+#include "kernels/sad.hh"
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+namespace imagine::apps
+{
+
+using namespace imagine::kernels;
+
+namespace
+{
+
+/** Candidate block offsets (in blocks; forward-only, see golden pad). */
+constexpr int candOffsets[4] = {0, 1, 40, 41};
+
+} // namespace
+
+AppResult
+runMpeg(ImagineSystem &sys, const MpegConfig &cfg)
+{
+    const int W = cfg.width, H = cfg.height;
+    const int bx = W / 8, by = H / 8;
+    const int NB = bx * by;                 // blocks per frame
+    IMAGINE_ASSERT(bx % 8 == 0, "MPEG width must give 8|blocks per row");
+    const uint32_t CW = static_cast<uint32_t>(bx) * 32;  // chunk words
+    const int chunks = by;
+    const uint32_t pad = 4096;              // golden-visible zero pad
+
+    uint16_t kColor = ensureKernel(sys, "colorconv", colorConv);
+    uint16_t kSearch = ensureKernel(sys, "blocksearch", blockSearch);
+    uint16_t kMcIdx = ensureKernel(sys, "mcindex", mcIndex);
+    uint16_t kSub = ensureKernel(sys, "pixsub", pixSub);
+    uint16_t kDct = ensureKernel(sys, "dct8x8", dct8x8);
+    uint16_t kQuant = ensureKernel(sys, "quantize", quantize);
+    uint16_t kDeq = ensureKernel(sys, "dequantize", dequantize);
+    uint16_t kIdct = ensureKernel(sys, "idct8x8", idct8x8);
+    uint16_t kAdd = ensureKernel(sys, "pixaddclamp", pixAddClamp);
+    uint16_t kZig = ensureKernel(sys, "zigzag", zigzag);
+    uint16_t kRle = ensureKernel(sys, "rle", rle);
+
+    // ------------------------------------------------------------------
+    // Memory map and synthetic video.
+    // ------------------------------------------------------------------
+    const auto frameWords = static_cast<Addr>(NB) * 32;
+    const Addr rgbBase = 0;                             // 3 frames, rec 3
+    const Addr yBase = rgbBase + 3 * frameWords * cfg.frames;
+    const Addr reconBase = yBase + frameWords;          // + pad each
+    const Addr zeroBase =
+        reconBase + static_cast<Addr>(cfg.frames) * (frameWords + pad);
+    const Addr initBase = zeroBase + CW;
+    const Addr sentinelBase = initBase + 2ull * bx;
+    const Addr bitsBase = sentinelBase + numClusters;
+
+    Rng rng(cfg.seed);
+    std::vector<uint8_t> tex(static_cast<size_t>(W + 8 * cfg.frames) *
+                             H);
+    for (auto &p : tex)
+        p = static_cast<uint8_t>(rng.below(256));
+
+    // Block-major RGB per frame; the texture translates one block per
+    // frame so candidate offset +1 is the true motion vector.
+    auto pixel = [&](int f, int x, int y, int chan) -> uint16_t {
+        size_t idx = static_cast<size_t>(y) * (W + 8 * cfg.frames) +
+                     (x + 8 * f);
+        uint8_t base = tex[idx];
+        return static_cast<uint16_t>((base + 37 * chan) & 0xff);
+    };
+    std::vector<std::vector<Word>> rgbGold(cfg.frames);
+    for (int f = 0; f < cfg.frames; ++f) {
+        std::vector<Word> rgb(static_cast<size_t>(NB) * 32 * 3);
+        for (int blk = 0; blk < NB; ++blk) {
+            int bxx = blk % bx, byy = blk / bx;
+            for (int w = 0; w < 32; ++w) {
+                int row = w / 4, m = w % 4;
+                int x = bxx * 8 + 2 * m, y = byy * 8 + row;
+                for (int c = 0; c < 3; ++c) {
+                    rgb[(static_cast<size_t>(blk) * 32 + w) * 3 + c] =
+                        pack16(pixel(f, x + 1, y, c), pixel(f, x, y, c));
+                }
+            }
+        }
+        sys.memory().writeWords(rgbBase + 3 * frameWords * f, rgb);
+        rgbGold[f] = std::move(rgb);
+    }
+    {
+        std::vector<Word> init(static_cast<size_t>(bx) * 2);
+        for (int i = 0; i < bx; ++i) {
+            init[2 * i] = intToWord(1 << 24);
+            init[2 * i + 1] = 0;
+        }
+        sys.memory().writeWords(initBase, init);
+        sys.memory().writeWords(sentinelBase,
+                                std::vector<Word>(numClusters, 0xffff));
+    }
+
+    // ------------------------------------------------------------------
+    // Stream program.
+    // ------------------------------------------------------------------
+    // The front of the per-chunk pipeline is double-buffered so chunk
+    // c+1's loads overlap chunk c's kernels (the stream compiler's
+    // load/kernel software pipelining, section 2.3).
+    auto b = sys.newProgram();
+    uint32_t sCurB[2] = {b.alloc(CW), b.alloc(CW)};
+    uint32_t sRgbB[2] = {b.alloc(3 * CW), b.alloc(3 * CW)};
+    uint32_t sCandB[2][4];
+    for (auto &half : sCandB)
+        for (auto &s : half)
+            s = b.alloc(CW);
+    uint32_t sBestB2[2] = {b.alloc(2 * bx), b.alloc(2 * bx)};
+    uint32_t sBestB = b.alloc(2 * bx);
+    uint32_t sMcIdx = b.alloc(static_cast<uint32_t>(bx));
+    uint32_t sPredB[2] = {b.alloc(CW), b.alloc(CW)};
+    // Intra frames predict from a zero block row kept in sPredB[0].
+    uint32_t sZero = sPredB[0];
+    uint32_t sWorkA = b.alloc(CW), sWorkB = b.alloc(CW);
+    uint32_t sQuant = b.alloc(CW);
+    uint32_t sZig = b.alloc(2 * CW);
+    uint32_t sBits = b.alloc(2 * CW + 64);
+    uint32_t sSentinel = b.alloc(numClusters);
+
+    b.load(b.marStride(zeroBase), b.sdr(sZero, CW), -1, "zeros");
+    b.load(b.marStride(sentinelBase), b.sdr(sSentinel, numClusters), -1,
+           "sentinel");
+
+    Addr bitsCursor = bitsBase;
+    std::vector<std::pair<uint32_t, Addr>> bitChunks;  // (instr, addr)
+
+    for (int f = 0; f < cfg.frames; ++f) {
+        bool intra = (f == 0);
+        Addr rgbF = rgbBase + 3 * frameWords * f;
+        Addr reconF = reconBase +
+                      static_cast<Addr>(f) * (frameWords + pad);
+        Addr reconP = reconBase +
+                      static_cast<Addr>(f - 1) * (frameWords + pad);
+        bool firstChunkOfApp = (f == 0);
+        // Two-stage software pipeline: chunk c+1's input loads are
+        // issued before chunk c's heavy kernel chain so they overlap.
+        auto emitLoads = [&](int c) {
+            Addr chunkOff = static_cast<Addr>(c) * CW;
+            uint32_t sRgb = sRgbB[c % 2];
+            if (!intra) {
+                for (int k = 0; k < 4; ++k) {
+                    Addr base = reconP + chunkOff +
+                                static_cast<Addr>(candOffsets[k]) * 32;
+                    b.load(b.marStride(base),
+                           b.sdr(sCandB[c % 2][k], CW), -1, "cand");
+                }
+                b.load(b.marStride(initBase),
+                       b.sdr(sBestB2[c % 2],
+                             2 * static_cast<uint32_t>(bx)),
+                       -1, "bestinit");
+            }
+            b.load(b.marStride(rgbF + 3 * chunkOff),
+                   b.sdr(sRgb, 3 * CW), -1, "rgb");
+        };
+
+        emitLoads(0);
+        for (int c = 0; c < chunks; ++c) {
+            Addr chunkOff = static_cast<Addr>(c) * CW;
+            uint32_t sCur = sCurB[c % 2];
+            uint32_t sRgb = sRgbB[c % 2];
+            uint32_t sPred = intra ? sZero : sPredB[c % 2];
+            uint32_t *sCand = sCandB[c % 2];
+            // --- luma ---
+            if (firstChunkOfApp) {
+                b.kernel(kColor, {b.sdr(sRgb, 3 * CW)},
+                         {b.sdr(sCur, CW)}, "colorconv");
+            } else {
+                b.restart(kColor, {b.sdr(sRgb, 3 * CW)},
+                          {b.sdr(sCur, CW)}, "colorconv");
+            }
+            b.store(b.marStride(yBase + chunkOff), b.sdr(sCur, CW), -1,
+                    "ychunk");
+
+            if (!intra) {
+                // --- motion estimation over four candidates ---
+                std::vector<int> ins{b.sdr(sCur, CW)};
+                for (int k = 0; k < 4; ++k)
+                    ins.push_back(b.sdr(sCand[k], CW));
+                ins.push_back(b.sdr(sBestB2[c % 2],
+                                    2 * static_cast<uint32_t>(bx)));
+                b.ucr(0, 0);
+                b.kernel(kSearch, ins,
+                         {b.sdr(sBestB, 2 * static_cast<uint32_t>(bx))},
+                         "blocksearch");
+                // --- motion compensation ---
+                for (int k = 0; k < 8; ++k)
+                    b.ucr(4 + k,
+                          static_cast<Word>(candOffsets[k % 4] * 32));
+                b.kernel(kMcIdx,
+                         {b.sdr(sBestB, 2 * static_cast<uint32_t>(bx))},
+                         {b.sdr(sMcIdx, static_cast<uint32_t>(bx))},
+                         "mcindex");
+                b.load(b.marIndexed(reconP + chunkOff, 32),
+                       b.sdr(sPred, CW),
+                       b.sdr(sMcIdx, static_cast<uint32_t>(bx)),
+                       "mcgather");
+            }
+            if (c + 1 < chunks)
+                emitLoads(c + 1);
+            // --- residual -> DCT -> quantize ---
+            b.kernel(kSub, {b.sdr(sCur, CW), b.sdr(sPred, CW)},
+                     {b.sdr(sWorkA, CW)}, "pixsub");
+            b.kernel(kDct, {b.sdr(sWorkA, CW)}, {b.sdr(sWorkB, CW)},
+                     "dct");
+            b.kernel(kQuant, {b.sdr(sWorkB, CW)}, {b.sdr(sQuant, CW)},
+                     "quantize");
+            // --- reconstruction ---
+            b.kernel(kDeq, {b.sdr(sQuant, CW)}, {b.sdr(sWorkA, CW)},
+                     "dequantize");
+            b.kernel(kIdct, {b.sdr(sWorkA, CW)}, {b.sdr(sWorkB, CW)},
+                     "idct");
+            b.kernel(kAdd, {b.sdr(sWorkB, CW), b.sdr(sPred, CW)},
+                     {b.sdr(sWorkA, CW)}, "pixaddclamp");
+            b.store(b.marStride(reconF + chunkOff), b.sdr(sWorkA, CW),
+                    -1, "recon");
+            // --- entropy front end ---
+            b.kernel(kZig, {b.sdr(sQuant, CW)}, {b.sdr(sZig, 2 * CW)},
+                     "zigzag");
+            int bitsSdr = b.sdr(sBits, 2 * CW + 64);
+            if (c == 0) {
+                // Fresh run-length state at each frame boundary.
+                b.kernel(kRle, {b.sdr(sZig, 2 * CW)}, {bitsSdr}, "rle");
+            } else {
+                b.restart(kRle, {b.sdr(sZig, 2 * CW)}, {bitsSdr},
+                          "rle");
+            }
+            b.readStreamLength(bitsSdr);    // host sizes the VLC store
+            uint32_t storeIdx =
+                b.store(b.marStride(bitsCursor), bitsSdr, -1, "bits");
+            bitChunks.push_back({storeIdx, bitsCursor});
+            bitsCursor += 2 * CW + 64;      // capacity spacing
+            firstChunkOfApp = false;
+        }
+        // Flush RLE lane state at frame end.
+        int bitsSdr = b.sdr(sBits, 2 * CW + 64);
+        b.restart(kRle, {b.sdr(sSentinel, numClusters)}, {bitsSdr},
+                  "rleflush");
+        b.readStreamLength(bitsSdr);
+        b.store(b.marStride(bitsCursor), bitsSdr, -1, "bitsflush");
+        bitChunks.push_back({0, bitsCursor});
+        bitsCursor += 2 * CW + 64;
+    }
+    AppResult result;
+    result.build = b.stats();
+    result.programInstrs = b.size();
+    StreamProgram prog = b.take();
+
+    result.run = sys.run(prog);
+
+    // ------------------------------------------------------------------
+    // Golden pipeline (mirrors the chunk/restart structure exactly).
+    // ------------------------------------------------------------------
+    bool ok = true;
+    std::vector<Word> reconPrevG(frameWords + pad, 0);
+    std::vector<Word> rleInputAll;      // concatenated zigzag stream
+    std::vector<Word> bitsGoldenAll;
+    size_t bitChunkCursor = 0;
+    uint64_t totalBits = 0;
+
+    // RLE golden is run per frame over the concatenated chunk stream;
+    // per-chunk outputs are compared by re-walking the concatenation.
+    for (int f = 0; f < cfg.frames && ok; ++f) {
+        bool intra = (f == 0);
+        Addr reconF = reconBase +
+                      static_cast<Addr>(f) * (frameWords + pad);
+        std::vector<Word> reconG(frameWords + pad, 0);
+        rleInputAll.clear();
+        std::vector<size_t> chunkRleStart;
+
+        for (int c = 0; c < chunks; ++c) {
+            size_t chunkOff = static_cast<size_t>(c) * CW;
+            std::vector<Word> rgbChunk(
+                rgbGold[f].begin() + 3 * chunkOff,
+                rgbGold[f].begin() + 3 * (chunkOff + CW));
+            auto cur = colorConvGolden(rgbChunk);
+
+            std::vector<Word> pred(CW, 0);
+            if (!intra) {
+                std::vector<Word> best(static_cast<size_t>(bx) * 2);
+                for (int i = 0; i < bx; ++i) {
+                    best[2 * i] = intToWord(1 << 24);
+                    best[2 * i + 1] = 0;
+                }
+                std::vector<std::vector<Word>> cands(4);
+                for (int k = 0; k < 4; ++k) {
+                    size_t base = chunkOff +
+                                  static_cast<size_t>(candOffsets[k]) *
+                                      32;
+                    cands[k] = {reconPrevG.begin() +
+                                    static_cast<std::ptrdiff_t>(base),
+                                reconPrevG.begin() +
+                                    static_cast<std::ptrdiff_t>(base +
+                                                                CW)};
+                }
+                best = blockSearchGolden(cur, cands, best, 0);
+                std::vector<Word> offs(8);
+                for (int k = 0; k < 8; ++k)
+                    offs[k] = static_cast<Word>(candOffsets[k % 4] * 32);
+                auto idx = mcIndexGolden(best, offs);
+                for (int blk = 0; blk < bx; ++blk)
+                    for (int w = 0; w < 32; ++w)
+                        pred[static_cast<size_t>(blk) * 32 + w] =
+                            reconPrevG[chunkOff + idx[blk] + w];
+            }
+            auto resid = pixSubGolden(cur, pred);
+            auto dct = dct8x8Golden(resid);
+            auto quant = quantizeGolden(dct);
+            auto deq = dequantizeGolden(quant);
+            auto idct = idct8x8Golden(deq);
+            auto recon = pixAddClampGolden(idct, pred);
+            std::copy(recon.begin(), recon.end(),
+                      reconG.begin() +
+                          static_cast<std::ptrdiff_t>(chunkOff));
+            auto zig = zigzagGolden(quant);
+            chunkRleStart.push_back(rleInputAll.size());
+            rleInputAll.insert(rleInputAll.end(), zig.begin(),
+                               zig.end());
+        }
+        // Sentinel flush.
+        chunkRleStart.push_back(rleInputAll.size());
+        rleInputAll.insert(rleInputAll.end(), numClusters, 0xffff);
+        auto frameBits = rleGolden(rleInputAll);
+        totalBits += frameBits.size();
+        bitsGoldenAll.insert(bitsGoldenAll.end(), frameBits.begin(),
+                             frameBits.end());
+
+        // --- compare recon frame ---
+        auto gotRecon = sys.memory().readWords(reconF, frameWords);
+        for (size_t i = 0; i < frameWords && ok; ++i) {
+            if (gotRecon[i] != reconG[i]) {
+                IMAGINE_WARN("MPEG recon mismatch frame %d word %zu", f,
+                             i);
+                ok = false;
+            }
+        }
+        reconPrevG = std::move(reconG);
+
+        // --- compare bitstream chunks ---
+        // Re-run the RLE golden while recording how many records are
+        // emitted within each chunk's input range; the machine's
+        // per-chunk stores must match those partitions exactly.
+        std::vector<size_t> counts(chunkRleStart.size(), 0);
+        {
+            uint32_t curVal[numClusters];
+            uint32_t curLen[numClusters] = {};
+            for (auto &v : curVal)
+                v = 0x10000u;
+            size_t range = 0;
+            size_t iters = rleInputAll.size() / numClusters;
+            for (size_t i = 0; i < iters; ++i) {
+                while (range + 1 < chunkRleStart.size() &&
+                       i * numClusters >= chunkRleStart[range + 1]) {
+                    ++range;
+                }
+                for (int l = 0; l < numClusters; ++l) {
+                    uint32_t px = rleInputAll[i * numClusters +
+                                              static_cast<size_t>(l)] &
+                                  0xffffu;
+                    bool eq = px == curVal[l];
+                    if (!eq && curLen[l] > 0)
+                        ++counts[range];
+                    curLen[l] = eq ? curLen[l] + 1 : 1;
+                    curVal[l] = eq ? curVal[l] : px;
+                }
+            }
+        }
+        size_t goldPos = 0;
+        for (size_t c = 0; c < counts.size() && ok; ++c) {
+            Addr addr = bitChunks[bitChunkCursor++].second;
+            auto got = sys.memory().readWords(addr, counts[c]);
+            for (size_t i = 0; i < counts[c] && ok; ++i) {
+                if (got[i] != frameBits[goldPos + i]) {
+                    IMAGINE_WARN("MPEG bitstream mismatch frame %d "
+                                 "chunk %zu word %zu",
+                                 f, c, i);
+                    ok = false;
+                }
+            }
+            goldPos += counts[c];
+        }
+        if (ok && goldPos != frameBits.size()) {
+            IMAGINE_WARN("MPEG bitstream length mismatch frame %d", f);
+            ok = false;
+        }
+    }
+
+    result.validated = ok;
+    double fps = result.run.seconds > 0
+                     ? cfg.frames / result.run.seconds
+                     : 0;
+    result.itemsPerSecond = fps;
+    result.summary = strfmt("%.0f frames/s (%dx%d, %llu RLE records)",
+                            fps, W, H,
+                            static_cast<unsigned long long>(totalBits));
+    return result;
+}
+
+} // namespace imagine::apps

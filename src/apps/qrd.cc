@@ -1,0 +1,303 @@
+/**
+ * @file
+ * QRD: blocked Householder QR factorization (paper section 4; the
+ * kernels are Table 2's "house" and "update2").
+ *
+ * The factorization is panel blocked: each 8-column panel is loaded
+ * into the SRF once (row-interleaved, one strided load), its eight
+ * columns are factored in place (extractColumn -> house -> houseApply2
+ * -> panelDot -> update2 per column), and the eight tau-scaled
+ * reflectors are kept SRF resident.  Every trailing panel is then
+ * loaded ONCE and updated by all eight reflectors before being stored
+ * back - so the trailing matrix streams through memory once per panel
+ * step rather than once per column, which is what keeps QRD's memory
+ * bandwidth low (Fig. 12/13).
+ *
+ * Scalars travel between kernels through the UCR file (house ->
+ * houseApply2: tau/vdenom; panelDot -> update2: the eight dot
+ * products); folding tau into the u = tau*v reflector copies removes
+ * any need for host round trips.
+ *
+ * Zero-padding: column and panel streams are multiples of 32 rows;
+ * the matrix is stored with zero rows below row m, and reflectors are
+ * written into pre-zeroed buffers, so padded rows and not-yet-reached
+ * rows contribute exactly zero to every reduction and update.
+ *
+ * The paper factors a complex 192x96 matrix; this reproduction factors
+ * real matrices of the same shape with the identical stream and kernel
+ * structure (see DESIGN.md), and runs several back-to-back
+ * factorizations like the paper's QRD/s benchmark.
+ */
+
+#include "apps/apps.hh"
+
+#include <cmath>
+
+#include "apps/app_util.hh"
+#include "kernels/linalg.hh"
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+namespace imagine::apps
+{
+
+using namespace imagine::kernels;
+
+AppResult
+runQrd(ImagineSystem &sys, const QrdConfig &cfg)
+{
+    const int m = cfg.rows, n = cfg.cols;
+    IMAGINE_ASSERT(n % 8 == 0, "QRD column count must be panel aligned");
+    const int panels = n / 8;
+
+    uint16_t kHouse = ensureKernel(sys, "house", house);
+    uint16_t kApply = ensureKernel(sys, "houseapply2", houseApply2);
+    uint16_t kExtract = ensureKernel(sys, "extractcol", extractColumn);
+    uint16_t kDot = ensureKernel(sys, "update2dot", panelDot);
+    uint16_t kAxpy = ensureKernel(sys, "update2", panelAxpyDots);
+
+    // ------------------------------------------------------------------
+    // Stage A (row-major, zero rows below m cover stream padding).
+    // ------------------------------------------------------------------
+    const int mPad = ((m + 31) / 32 + 2) * 32;
+    Rng rng(cfg.seed);
+    std::vector<float> a(static_cast<size_t>(m) * n);
+    for (auto &v : a)
+        v = rng.uniform(-1.0f, 1.0f);
+    const Addr aBase = 0;
+    const Addr zeroBase = aBase + static_cast<Addr>(mPad) * n;
+    for (int i = 0; i < mPad; ++i) {
+        std::vector<Word> row(static_cast<size_t>(n), 0);
+        if (i < m)
+            for (int j = 0; j < n; ++j)
+                row[static_cast<size_t>(j)] =
+                    floatToWord(a[static_cast<size_t>(i) * n + j]);
+        sys.memory().writeWords(aBase + static_cast<Addr>(i) * n, row);
+    }
+    const uint32_t maxLen = static_cast<uint32_t>(
+        (m + 31) / 32 * 32 + 32);
+    sys.memory().writeWords(zeroBase,
+                            std::vector<Word>(maxLen, floatToWord(0.0f)));
+
+    // ------------------------------------------------------------------
+    // Stream program.
+    // ------------------------------------------------------------------
+    auto b = sys.newProgram();
+    // Four panel buffers: two ping-pong pairs alternating per trailing
+    // panel, so panel q+1's load overlaps panel q's updates.
+    uint32_t panelBuf[4] = {b.alloc(maxLen * 8), b.alloc(maxLen * 8),
+                            b.alloc(maxLen * 8), b.alloc(maxLen * 8)};
+    uint32_t colBuf = b.alloc(maxLen);
+    uint32_t vSave[8], uSave[8];
+    for (auto &s : vSave)
+        s = b.alloc(maxLen);
+    for (auto &s : uSave)
+        s = b.alloc(maxLen);
+
+    auto panelLen = [&](int p) {
+        return static_cast<uint32_t>((m - 8 * p + 31) / 32 * 32 + 32);
+    };
+
+    for (int p = 0; p < panels; ++p) {
+        const int j0 = 8 * p;
+        const uint32_t L = panelLen(p);
+        int pMar = b.marStride(
+            aBase + static_cast<Addr>(j0) * n + static_cast<Addr>(j0),
+            static_cast<uint32_t>(n), 8);
+        uint32_t pa = panelBuf[0], pb = panelBuf[1];
+        b.load(pMar, b.sdr(pa, L * 8), -1, "panel");
+
+        // --- factor the panel's eight columns in place ---
+        for (int c = 0; c < 8; ++c) {
+            const int j = j0 + c;
+            const uint32_t Lc = static_cast<uint32_t>(
+                (m - j + 31) / 32 * 32);
+            b.load(b.marStride(zeroBase), b.sdr(vSave[c], L), -1,
+                   "vzero");
+            b.load(b.marStride(zeroBase), b.sdr(uSave[c], L), -1,
+                   "uzero");
+            b.ucr(ucrColSel, static_cast<Word>(c));
+            b.kernel(kExtract, {b.sdr(pa, L * 8)}, {b.sdr(colBuf, L)},
+                     "extractcol");
+            b.kernel(kHouse,
+                     {b.sdr(colBuf + static_cast<uint32_t>(c), Lc)}, {},
+                     "house");
+            b.kernel(kApply,
+                     {b.sdr(colBuf + static_cast<uint32_t>(c), Lc)},
+                     {b.sdr(vSave[c] + static_cast<uint32_t>(c), Lc),
+                      b.sdr(uSave[c] + static_cast<uint32_t>(c), Lc)},
+                     "houseapply2");
+            b.kernel(kDot, {b.sdr(uSave[c], L), b.sdr(pa, L * 8)}, {},
+                     "update2dot");
+            b.kernel(kAxpy, {b.sdr(vSave[c], L), b.sdr(pa, L * 8)},
+                     {b.sdr(pb, L * 8)}, "update2");
+            std::swap(pa, pb);
+        }
+        b.store(pMar, b.sdr(pa, L * 8), -1, "panelstore");
+
+        // --- apply all eight reflectors to each trailing panel ---
+        for (int q = p + 1; q < panels; ++q) {
+            int tMar = b.marStride(
+                aBase + static_cast<Addr>(j0) * n +
+                    static_cast<Addr>(8 * q),
+                static_cast<uint32_t>(n), 8);
+            uint32_t ta = panelBuf[2 * (q % 2)];
+            uint32_t tb = panelBuf[2 * (q % 2) + 1];
+            b.load(tMar, b.sdr(ta, L * 8), -1, "trailing");
+            for (int c = 0; c < 8; ++c) {
+                b.kernel(kDot, {b.sdr(uSave[c], L), b.sdr(ta, L * 8)},
+                         {}, "update2dot");
+                b.kernel(kAxpy, {b.sdr(vSave[c], L), b.sdr(ta, L * 8)},
+                         {b.sdr(tb, L * 8)}, "update2");
+                std::swap(ta, tb);
+            }
+            b.store(tMar, b.sdr(ta, L * 8), -1, "trailingstore");
+        }
+    }
+    AppResult result;
+    result.build = b.stats();
+    result.programInstrs = b.size();
+    StreamProgram prog = b.take();
+
+    result.run = sys.run(prog);
+
+    // ------------------------------------------------------------------
+    // Golden: identical algorithm, identical float operation order.
+    // ------------------------------------------------------------------
+    std::vector<float> g(static_cast<size_t>(mPad) * n, 0.0f);
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < n; ++j)
+            g[static_cast<size_t>(i) * n + j] =
+                a[static_cast<size_t>(i) * n + j];
+
+    auto applyReflectors = [&](int p, int q, uint32_t L,
+                               const std::vector<std::vector<float>> &vs,
+                               const std::vector<std::vector<float>> &us) {
+        const int j0 = 8 * p;
+        for (int c = 0; c < 8; ++c) {
+            // panelDot: per-lane accumulation in row order + butterfly.
+            float dot[8];
+            for (int k = 0; k < 8; ++k) {
+                float lane[numClusters] = {};
+                for (uint32_t i = 0; i < L; ++i) {
+                    lane[i % numClusters] +=
+                        us[c][i] * g[static_cast<size_t>(j0 + i) * n +
+                                     8 * q + k];
+                }
+                float t[numClusters];
+                for (int l = 0; l < numClusters; ++l)
+                    t[l] = lane[l];
+                for (int hop = 1; hop < numClusters; hop <<= 1) {
+                    float nx[numClusters];
+                    for (int l = 0; l < numClusters; ++l)
+                        nx[l] = t[l] + t[l ^ hop];
+                    for (int l = 0; l < numClusters; ++l)
+                        t[l] = nx[l];
+                }
+                dot[k] = t[0];
+            }
+            for (int k = 0; k < 8; ++k) {
+                for (uint32_t i = 0; i < L; ++i) {
+                    float &cell = g[static_cast<size_t>(j0 + i) * n +
+                                    8 * q + k];
+                    cell = cell - vs[c][i] * dot[k];
+                }
+            }
+        }
+    };
+
+    for (int p = 0; p < panels; ++p) {
+        const int j0 = 8 * p;
+        const uint32_t L = panelLen(p);
+        std::vector<std::vector<float>> vs(8), us(8);
+        for (int c = 0; c < 8; ++c) {
+            const int j = j0 + c;
+            const uint32_t Lc = static_cast<uint32_t>(
+                (m - j + 31) / 32 * 32);
+            std::vector<float> x(Lc);
+            for (uint32_t i = 0; i < Lc; ++i)
+                x[i] = g[static_cast<size_t>(j + i) * n + j];
+            HouseResult hr = houseGolden(x);
+            vs[c].assign(L, 0.0f);
+            us[c].assign(L, 0.0f);
+            float winv = 1.0f / hr.vdenom;
+            for (uint32_t i = 0; i < Lc; ++i) {
+                float v = (i == 0) ? 1.0f : x[i] * winv;
+                vs[c][static_cast<uint32_t>(c) + i] = v;
+                us[c][static_cast<uint32_t>(c) + i] = v * hr.tau;
+            }
+            // In-panel update with this reflector only.
+            {
+                float dot[8];
+                for (int k = 0; k < 8; ++k) {
+                    float lane[numClusters] = {};
+                    for (uint32_t i = 0; i < L; ++i) {
+                        lane[i % numClusters] +=
+                            us[c][i] *
+                            g[static_cast<size_t>(j0 + i) * n + j0 + k];
+                    }
+                    float t[numClusters];
+                    for (int l = 0; l < numClusters; ++l)
+                        t[l] = lane[l];
+                    for (int hop = 1; hop < numClusters; hop <<= 1) {
+                        float nx[numClusters];
+                        for (int l = 0; l < numClusters; ++l)
+                            nx[l] = t[l] + t[l ^ hop];
+                        for (int l = 0; l < numClusters; ++l)
+                            t[l] = nx[l];
+                    }
+                    dot[k] = t[0];
+                }
+                for (int k = 0; k < 8; ++k)
+                    for (uint32_t i = 0; i < L; ++i) {
+                        float &cell = g[static_cast<size_t>(j0 + i) * n +
+                                        j0 + k];
+                        cell = cell - vs[c][i] * dot[k];
+                    }
+            }
+        }
+        for (int q = p + 1; q < panels; ++q)
+            applyReflectors(p, q, L, vs, us);
+    }
+
+    // Compare the full stored matrix bit-for-bit.
+    bool ok = true;
+    for (int i = 0; i < m && ok; ++i) {
+        auto got = sys.memory().readWords(
+            aBase + static_cast<Addr>(i) * n, static_cast<size_t>(n));
+        for (int j = 0; j < n; ++j) {
+            if (got[static_cast<size_t>(j)] !=
+                floatToWord(g[static_cast<size_t>(i) * n + j])) {
+                IMAGINE_WARN("QRD mismatch at (%d, %d)", i, j);
+                ok = false;
+                break;
+            }
+        }
+    }
+    // Numerical sanity: R's strictly-lower triangle is ~0.
+    double below = 0, scale = 0;
+    for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+            float v = wordToFloat(sys.memory().readWord(
+                aBase + static_cast<Addr>(i) * n + j));
+            if (i > j)
+                below += std::fabs(v);
+            else
+                scale += std::fabs(v);
+        }
+    }
+    if (below > 1e-2 * scale) {
+        IMAGINE_WARN("QRD lower triangle not eliminated (%g vs %g)",
+                     below, scale);
+        ok = false;
+    }
+
+    result.validated = ok;
+    result.itemsPerSecond =
+        result.run.seconds > 0 ? 1.0 / result.run.seconds : 0;
+    result.summary = strfmt("%.0f QRD/s (%dx%d real)",
+                            result.itemsPerSecond, m, n);
+    return result;
+}
+
+} // namespace imagine::apps

@@ -1,0 +1,492 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace imagine
+{
+
+using kernelc::CompiledKernel;
+using kernelc::Node;
+using kernelc::OpMix;
+using kernelc::Region;
+using kernelc::ScheduledOp;
+
+ClusterArray::ClusterArray(const MachineConfig &cfg, Srf &srf)
+    : cfg_(cfg), srf_(srf), ucrs_(cfg.numUcrs, 0),
+      scratchpad_(cfg.scratchpadWords)
+{
+    for (auto &row : scratchpad_)
+        row.fill(0);
+}
+
+uint32_t
+ClusterArray::streamElem(uint32_t iter, int lane, uint16_t rec,
+                         uint16_t elemIdx) const
+{
+    return (iter * numClusters + static_cast<uint32_t>(lane)) * rec +
+           elemIdx;
+}
+
+void
+ClusterArray::start(const CompiledKernel *k, std::vector<Binding> ins,
+                    std::vector<Binding> outs, uint32_t explicitTrip,
+                    bool restart)
+{
+    IMAGINE_ASSERT(phase_ == Phase::Idle, "kernel launch while busy");
+    IMAGINE_ASSERT(static_cast<int>(ins.size()) == k->graph.numInStreams,
+                   "kernel %s expects %d input streams, got %zu",
+                   k->name(), k->graph.numInStreams, ins.size());
+    IMAGINE_ASSERT(static_cast<int>(outs.size()) == k->graph.numOutStreams,
+                   "kernel %s expects %d output streams, got %zu",
+                   k->name(), k->graph.numOutStreams, outs.size());
+    if (restart) {
+        IMAGINE_ASSERT(hasRun_.count(k),
+                       "restart of %s without a prior run", k->name());
+    }
+    hasRun_.insert(k);
+    skipPrologue_ = restart && lastKernel_ == k;
+    lastKernel_ = k;
+    kernel_ = k;
+    ins_ = std::move(ins);
+    outs_ = std::move(outs);
+    restart_ = restart;
+
+    // Trip count from the first input stream (all must agree).
+    if (k->graph.numInStreams > 0) {
+        uint32_t wordsPerIter = static_cast<uint32_t>(k->graph.inRec[0]) *
+                                numClusters;
+        IMAGINE_ASSERT(ins_[0].length % wordsPerIter == 0,
+                       "kernel %s: stream length %u not a multiple of %u",
+                       k->name(), ins_[0].length, wordsPerIter);
+        trip_ = ins_[0].length / wordsPerIter;
+        for (size_t s = 1; s < ins_.size(); ++s) {
+            uint32_t expect = trip_ * k->graph.inRec[s] * numClusters;
+            IMAGINE_ASSERT(ins_[s].length == expect,
+                           "kernel %s: input %zu length %u, expected %u",
+                           k->name(), s, ins_[s].length, expect);
+        }
+    } else {
+        trip_ = explicitTrip;
+    }
+    IMAGINE_ASSERT(trip_ >= 1, "kernel %s launched with zero trip count",
+                   k->name());
+
+    // Value buffers sized for the deepest software-pipeline overlap.
+    uint32_t need = static_cast<uint32_t>(k->loop.stages()) + 2;
+    depth_ = 1;
+    while (depth_ < need)
+        depth_ <<= 1;
+    if (!skipPrologue_) {
+        // Fresh value buffers; the prologue (if any) re-materializes
+        // loop invariants.  A back-to-back restart of the same kernel
+        // keeps them live instead.
+        values_.assign(static_cast<size_t>(k->graph.nodes.size()) *
+                           depth_ * numClusters,
+                       0);
+    }
+    if (!restart_)
+        accSaved_.erase(k);
+
+    // Issue buckets by cycle-mod-II for the main loop.
+    loopBuckets_.assign(std::max(k->loop.ii, 1), {});
+    uint64_t span = 0;
+    for (const ScheduledOp &s : k->loop.ops) {
+        loopBuckets_[static_cast<size_t>(s.time) % k->loop.ii]
+            .push_back(s);
+        span = std::max<uint64_t>(span, static_cast<uint64_t>(s.time) + 1);
+    }
+    loopWindow_ = k->loop.ops.empty()
+                      ? 0
+                      : (static_cast<uint64_t>(trip_) - 1) * k->loop.ii +
+                            span;
+
+    proOps_ = k->prologue.ops;
+    epiOps_ = k->epilogue.ops;
+    auto byTime = [](const ScheduledOp &a, const ScheduledOp &b) {
+        return a.time < b.time;
+    };
+    std::sort(proOps_.begin(), proOps_.end(), byTime);
+    std::sort(epiOps_.begin(), epiOps_.end(), byTime);
+
+    phase_ = Phase::Startup;
+    t_ = 0;
+    kernelCycles_ = 0;
+    stallWatchdog_ = 0;
+
+    ++stats_.kernelsRun;
+    uint32_t maxLen = trip_ * numClusters;
+    for (const Binding &b : ins_)
+        maxLen = std::max(maxLen, b.length);
+    stats_.kernelStreamWords += maxLen;
+}
+
+Word
+ClusterArray::value(uint32_t id, uint32_t iter, int lane) const
+{
+    const Node &n = kernel_->graph.nodes[id];
+    switch (n.op) {
+      case Opcode::Imm:
+        return n.payload;
+      case Opcode::UcrRd:
+        return ucrs_[n.payload];
+      case Opcode::Cid:
+        return static_cast<Word>(lane);
+      case Opcode::Iter:
+        return iter;
+      case Opcode::Acc:
+        if (iter == 0) {
+            if (restart_) {
+                auto kit = accSaved_.find(kernel_);
+                if (kit != accSaved_.end()) {
+                    auto it = kit->second.find(id);
+                    if (it != kit->second.end())
+                        return it->second[static_cast<size_t>(lane)];
+                }
+            }
+            return value(n.in[0], 0, lane);
+        }
+        return value(n.in[1], iter - 1, lane);
+      default: {
+        uint32_t it = (n.region == Region::Loop)
+                          ? std::min(iter, trip_ - 1)
+                          : 0;
+        return values_[(static_cast<size_t>(id) * depth_ +
+                        (it & (depth_ - 1))) *
+                           numClusters +
+                       static_cast<size_t>(lane)];
+      }
+    }
+}
+
+void
+ClusterArray::store(uint32_t id, uint32_t iter, int lane, Word w)
+{
+    const Node &n = kernel_->graph.nodes[id];
+    uint32_t it = (n.region == Region::Loop) ? iter : 0;
+    values_[(static_cast<size_t>(id) * depth_ + (it & (depth_ - 1))) *
+                numClusters +
+            static_cast<size_t>(lane)] = w;
+}
+
+bool
+ClusterArray::cycleCanIssue(
+    const std::vector<const ScheduledOp *> &ops, bool inLoop) const
+{
+    // The iteration index for each op was stashed in the parallel
+    // vector by the caller for loop cycles; epilogue ops use trip_.
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const Node &n = kernel_->graph.nodes[ops[i]->node];
+        uint32_t iter = inLoop ? iterScratch_[i] : trip_;
+        switch (n.op) {
+          case Opcode::In: {
+            uint32_t last = streamElem(iter, numClusters - 1,
+                                       kernel_->graph.inRec[n.streamIdx],
+                                       n.elemIdx);
+            if (!srf_.inReady(ins_[n.streamIdx].client, last))
+                return false;
+            break;
+          }
+          case Opcode::Out: {
+            uint32_t last;
+            if (n.region == Region::Loop) {
+                last = streamElem(iter, numClusters - 1,
+                                  kernel_->graph.outRec[n.streamIdx],
+                                  n.elemIdx);
+            } else {
+                last = trip_ * kernel_->graph.outRec[n.streamIdx] *
+                           numClusters +
+                       n.elemIdx * numClusters + (numClusters - 1);
+            }
+            if (!srf_.outCanAccept(outs_[n.streamIdx].client, last))
+                return false;
+            break;
+          }
+          case Opcode::OutCond: {
+            int client = outs_[n.streamIdx].client;
+            uint32_t pos = srf_.outAppendPos(client);
+            if (!srf_.outCanAccept(client, pos + numClusters - 1))
+                return false;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return true;
+}
+
+void
+ClusterArray::executeOp(const ScheduledOp &sop, uint32_t iter, bool inLoop)
+{
+    const Node &n = kernel_->graph.nodes[sop.node];
+    switch (n.op) {
+      case Opcode::In: {
+        uint16_t rec = kernel_->graph.inRec[n.streamIdx];
+        int client = ins_[n.streamIdx].client;
+        for (int lane = 0; lane < numClusters; ++lane) {
+            Word w = srf_.inConsume(client,
+                                    streamElem(iter, lane, rec, n.elemIdx));
+            store(sop.node, iter, lane, w);
+        }
+        stats_.sbReads += numClusters;
+        break;
+      }
+      case Opcode::Out: {
+        uint16_t rec = kernel_->graph.outRec[n.streamIdx];
+        int client = outs_[n.streamIdx].client;
+        for (int lane = 0; lane < numClusters; ++lane) {
+            uint32_t elem;
+            if (n.region == Region::Loop) {
+                elem = streamElem(iter, lane, rec, n.elemIdx);
+            } else {
+                elem = trip_ * rec * numClusters +
+                       n.elemIdx * numClusters +
+                       static_cast<uint32_t>(lane);
+            }
+            srf_.outProduce(client, elem, value(n.in[0], iter, lane));
+        }
+        stats_.sbWrites += numClusters;
+        break;
+      }
+      case Opcode::OutCond: {
+        int client = outs_[n.streamIdx].client;
+        for (int lane = 0; lane < numClusters; ++lane) {
+            if (value(n.in[1], iter, lane)) {
+                srf_.outProduce(client, srf_.outAppendPos(client),
+                                value(n.in[0], iter, lane));
+                ++stats_.sbWrites;
+            }
+        }
+        break;
+      }
+      case Opcode::CommPerm: {
+        Word vals[numClusters];
+        Word src[numClusters];
+        for (int lane = 0; lane < numClusters; ++lane) {
+            vals[lane] = value(n.in[0], iter, lane);
+            src[lane] = value(n.in[1], iter, lane);
+        }
+        for (int lane = 0; lane < numClusters; ++lane)
+            store(sop.node, iter, lane, vals[src[lane] % numClusters]);
+        break;
+      }
+      case Opcode::SpRd: {
+        for (int lane = 0; lane < numClusters; ++lane) {
+            uint32_t addr = value(n.in[0], iter, lane) %
+                            scratchpad_.size();
+            store(sop.node, iter, lane,
+                  scratchpad_[addr][static_cast<size_t>(lane)]);
+        }
+        break;
+      }
+      case Opcode::SpWr: {
+        for (int lane = 0; lane < numClusters; ++lane) {
+            uint32_t addr = value(n.in[0], iter, lane) %
+                            scratchpad_.size();
+            scratchpad_[addr][static_cast<size_t>(lane)] =
+                value(n.in[1], iter, lane);
+        }
+        break;
+      }
+      case Opcode::UcrWr:
+        // Scalar writeback: by convention lane 0's value.
+        ucrs_[n.payload] = value(n.in[0], iter, 0);
+        break;
+      default: {
+        Word in[3] = {0, 0, 0};
+        for (int lane = 0; lane < numClusters; ++lane) {
+            for (int k = 0; k < n.numIn; ++k)
+                in[k] = value(n.in[k], iter, lane);
+            store(sop.node, iter, lane, evalArith(n.op, in));
+        }
+        break;
+      }
+    }
+    (void)inLoop;
+}
+
+void
+ClusterArray::collectLoopOps(uint64_t tl,
+                             std::vector<const ScheduledOp *> &out,
+                             std::vector<uint32_t> &iters) const
+{
+    out.clear();
+    iters.clear();
+    if (tl >= loopWindow_)
+        return;
+    const auto &bucket =
+        loopBuckets_[static_cast<size_t>(tl % kernel_->loop.ii)];
+    for (const ScheduledOp &s : bucket) {
+        if (static_cast<uint64_t>(s.time) > tl)
+            continue;
+        uint64_t iter = (tl - static_cast<uint64_t>(s.time)) /
+                        kernel_->loop.ii;
+        if (iter < trip_) {
+            out.push_back(&s);
+            iters.push_back(static_cast<uint32_t>(iter));
+        }
+    }
+}
+
+void
+ClusterArray::accountMix(const OpMix &mix, uint64_t times)
+{
+    uint64_t lanes = static_cast<uint64_t>(numClusters) * times;
+    stats_.issuedOps += mix.issuedOps * lanes;
+    stats_.arithOps += mix.arithOps * lanes;
+    stats_.fpOps += mix.fpOps * lanes;
+    stats_.lrfReads += mix.lrfReads * lanes;
+    stats_.lrfWrites += mix.lrfWrites * lanes;
+    stats_.spAccesses += mix.spAccesses * lanes;
+    stats_.commWords += mix.commWords * lanes;
+}
+
+void
+ClusterArray::finishLoopBookkeeping()
+{
+    // Save accumulator finals so a Restart can carry them over.
+    for (uint32_t id = 0; id < kernel_->graph.nodes.size(); ++id) {
+        const Node &n = kernel_->graph.nodes[id];
+        if (n.op != Opcode::Acc)
+            continue;
+        std::array<Word, numClusters> fin;
+        for (int lane = 0; lane < numClusters; ++lane)
+            fin[static_cast<size_t>(lane)] = value(id, trip_, lane);
+        accSaved_[kernel_][id] = fin;
+    }
+    // Software-pipeline priming/drain attribution (the paper counts
+    // priming iterations as non-main-loop time).
+    uint64_t priming = static_cast<uint64_t>(kernel_->loop.stages() - 1) *
+                       kernel_->loop.ii;
+    uint64_t total = (trip_ == 0 || kernel_->loop.ops.empty())
+                         ? 0
+                         : (static_cast<uint64_t>(trip_) - 1) *
+                                   kernel_->loop.ii +
+                               kernel_->loop.length;
+    stats_.primingCycles += std::min(priming, total);
+    accountMix(kernel_->loopMix, trip_);
+}
+
+bool
+ClusterArray::done() const
+{
+    if (phase_ != Phase::Done)
+        return false;
+    for (const Binding &b : outs_)
+        if (!srf_.outDrained(b.client))
+            return false;
+    return true;
+}
+
+void
+ClusterArray::retire()
+{
+    IMAGINE_ASSERT(done(), "retire before kernel completion");
+    phase_ = Phase::Idle;
+}
+
+void
+ClusterArray::tick()
+{
+    if (phase_ == Phase::Idle || phase_ == Phase::Done)
+        return;
+    ++kernelCycles_;
+
+    switch (phase_) {
+      case Phase::Startup:
+        ++stats_.startupCycles;
+        if (++t_ >= static_cast<uint64_t>(cfg_.kernelStartupCycles)) {
+            phase_ = (skipPrologue_ || proOps_.empty())
+                         ? Phase::Loop
+                         : Phase::Prologue;
+            t_ = 0;
+            if (phase_ == Phase::Prologue)
+                accountMix(kernel_->prologueMix, 1);
+        }
+        break;
+
+      case Phase::Prologue: {
+        for (const ScheduledOp &s : proOps_) {
+            if (static_cast<uint64_t>(s.time) == t_)
+                executeOp(s, 0, false);
+        }
+        ++stats_.prologueCycles;
+        if (++t_ >= static_cast<uint64_t>(kernel_->prologue.length)) {
+            phase_ = Phase::Loop;
+            t_ = 0;
+        }
+        break;
+      }
+
+      case Phase::Loop: {
+        opScratch_.clear();
+        collectLoopOps(t_, opScratch_, iterScratch_);
+        if (!cycleCanIssue(opScratch_, true)) {
+            ++stats_.stallCycles;
+            if (++stallWatchdog_ > 2'000'000) {
+                IMAGINE_PANIC("kernel %s wedged in main loop at t=%llu",
+                              kernel_->name(),
+                              static_cast<unsigned long long>(t_));
+            }
+            break;
+        }
+        stallWatchdog_ = 0;
+        for (size_t i = 0; i < opScratch_.size(); ++i)
+            executeOp(*opScratch_[i], iterScratch_[i], true);
+        ++stats_.loopCycles;
+        ++t_;
+        uint64_t loopTotal =
+            kernel_->loop.ops.empty()
+                ? 0
+                : (static_cast<uint64_t>(trip_) - 1) * kernel_->loop.ii +
+                      kernel_->loop.length;
+        if (t_ >= loopTotal) {
+            finishLoopBookkeeping();
+            phase_ = epiOps_.empty() ? Phase::Shutdown : Phase::Epilogue;
+            if (phase_ == Phase::Epilogue)
+                accountMix(kernel_->epilogueMix, 1);
+            t_ = 0;
+        }
+        break;
+      }
+
+      case Phase::Epilogue: {
+        opScratch_.clear();
+        for (const ScheduledOp &s : epiOps_) {
+            if (static_cast<uint64_t>(s.time) == t_)
+                opScratch_.push_back(&s);
+        }
+        if (!cycleCanIssue(opScratch_, false)) {
+            ++stats_.stallCycles;
+            if (++stallWatchdog_ > 2'000'000)
+                IMAGINE_PANIC("kernel %s wedged in epilogue",
+                              kernel_->name());
+            break;
+        }
+        stallWatchdog_ = 0;
+        for (const ScheduledOp *s : opScratch_)
+            executeOp(*s, trip_, false);
+        ++stats_.epilogueCycles;
+        if (++t_ >= static_cast<uint64_t>(kernel_->epilogue.length)) {
+            phase_ = Phase::Shutdown;
+            t_ = 0;
+        }
+        break;
+      }
+
+      case Phase::Shutdown:
+        ++stats_.shutdownCycles;
+        if (++t_ >= static_cast<uint64_t>(cfg_.kernelShutdownCycles)) {
+            phase_ = Phase::Done;
+            t_ = 0;
+        }
+        break;
+
+      default:
+        break;
+    }
+}
+
+} // namespace imagine

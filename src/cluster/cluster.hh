@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The eight-cluster SIMD arithmetic array and its micro-controller.
+ *
+ * The array executes one compiled kernel at a time.  Execution is both
+ * *functional* (every op computes real data; stream outputs hold the
+ * kernel's actual results) and *cycle-timed* (ops issue at the cycles
+ * the VLIW schedule assigned; the whole array stalls in SIMD lockstep
+ * whenever a stream buffer cannot supply or absorb data).
+ *
+ * Software pipelining support: each dataflow node keeps a small
+ * circular buffer of per-lane results indexed by loop iteration, so
+ * several overlapped iterations can be in flight without register
+ * renaming.  The modulo schedule guarantees a consumer never issues
+ * before its producer's completion, which makes write-at-issue
+ * functionally safe.
+ */
+
+#ifndef IMAGINE_CLUSTER_CLUSTER_HH
+#define IMAGINE_CLUSTER_CLUSTER_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kernelc/schedule.hh"
+#include "sim/config.hh"
+#include "srf/srf.hh"
+
+namespace imagine
+{
+
+/** Cumulative cluster-array statistics. */
+struct ClusterStats
+{
+    uint64_t startupCycles = 0;     ///< kernel decode / SB bind
+    uint64_t prologueCycles = 0;
+    uint64_t loopCycles = 0;        ///< non-stalled main-loop cycles
+    uint64_t epilogueCycles = 0;
+    uint64_t shutdownCycles = 0;
+    uint64_t stallCycles = 0;       ///< SIMD-lockstep stream stalls
+    /** Subset of loopCycles spent priming/draining the software pipe. */
+    uint64_t primingCycles = 0;
+
+    uint64_t issuedOps = 0;         ///< ops issued (x8 lanes)
+    uint64_t arithOps = 0;          ///< weighted arithmetic ops (x8)
+    uint64_t fpOps = 0;
+    uint64_t lrfReads = 0;
+    uint64_t lrfWrites = 0;
+    uint64_t spAccesses = 0;
+    uint64_t commWords = 0;
+    uint64_t sbReads = 0;           ///< words read from stream buffers
+    uint64_t sbWrites = 0;
+
+    uint64_t kernelsRun = 0;
+    uint64_t kernelStreamWords = 0; ///< sum of per-run max stream length
+
+    uint64_t busyTotal() const
+    {
+        return startupCycles + prologueCycles + loopCycles +
+               epilogueCycles + shutdownCycles + stallCycles;
+    }
+};
+
+/** The SIMD cluster array. */
+class ClusterArray
+{
+  public:
+    /** Stream binding passed at kernel launch. */
+    struct Binding
+    {
+        int client = -1;        ///< SRF client handle
+        uint32_t length = 0;    ///< stream length in words
+    };
+
+    ClusterArray(const MachineConfig &cfg, Srf &srf);
+
+    /**
+     * Launch a kernel.
+     *
+     * @param k compiled kernel (must outlive the run)
+     * @param ins input bindings, one per kernel input stream
+     * @param outs output bindings, one per kernel output stream
+     * @param explicitTrip trip count for kernels with no input stream
+     * @param restart continue a previous run of the same kernel:
+     *        accumulators carry over, and if this kernel also ran most
+     *        recently the prologue is skipped (loop invariants are
+     *        still live in the cluster registers)
+     */
+    void start(const kernelc::CompiledKernel *k,
+               std::vector<Binding> ins, std::vector<Binding> outs,
+               uint32_t explicitTrip = 0, bool restart = false);
+
+    bool busy() const { return phase_ != Phase::Idle; }
+    /** Kernel retired and all output data drained into the SRF. */
+    bool done() const;
+    /** Return to idle (caller closes the SRF clients). */
+    void retire();
+
+    void tick();
+
+    // --- micro-controller scalar registers ----------------------------
+    Word ucr(int i) const { return ucrs_.at(static_cast<size_t>(i)); }
+    void setUcr(int i, Word w) { ucrs_.at(static_cast<size_t>(i)) = w; }
+
+    const ClusterStats &stats() const { return stats_; }
+    /** Cycles the current (or last) kernel has been running. */
+    uint64_t currentKernelCycles() const { return kernelCycles_; }
+
+  private:
+    enum class Phase : uint8_t
+    {
+        Idle, Startup, Prologue, Loop, LoopDrain, Epilogue, Shutdown,
+        Done
+    };
+
+    struct LoopOpRef
+    {
+        uint32_t node;
+        int time;
+    };
+
+    /** Fetch the value of node @p id for consumer iteration @p iter. */
+    Word value(uint32_t id, uint32_t iter, int lane) const;
+    /** Store a computed value. */
+    void store(uint32_t id, uint32_t iter, int lane, Word w);
+
+    /** True if every op issuing this loop/epilogue cycle can proceed. */
+    bool cycleCanIssue(const std::vector<const kernelc::ScheduledOp *>
+                           &ops, bool inLoop) const;
+    /** Execute one op for all lanes. */
+    void executeOp(const kernelc::ScheduledOp &sop, uint32_t iter,
+                   bool inLoop);
+    void collectLoopOps(uint64_t tl,
+                        std::vector<const kernelc::ScheduledOp *> &out,
+                        std::vector<uint32_t> &iters) const;
+    uint32_t streamElem(uint32_t iter, int lane, uint16_t rec,
+                        uint16_t elemIdx) const;
+    void accountMix(const kernelc::OpMix &mix, uint64_t times);
+    void finishLoopBookkeeping();
+
+    const MachineConfig &cfg_;
+    Srf &srf_;
+    std::vector<Word> ucrs_;
+
+    // Active-kernel state ------------------------------------------------
+    const kernelc::CompiledKernel *kernel_ = nullptr;
+    std::vector<Binding> ins_, outs_;
+    uint32_t trip_ = 0;
+    Phase phase_ = Phase::Idle;
+    uint64_t t_ = 0;            ///< cycle within the current phase
+    uint64_t kernelCycles_ = 0; ///< cycles since start()
+    bool restart_ = false;
+
+    uint32_t depth_ = 1;        ///< value-buffer depth (power of two)
+    std::vector<Word> values_;  ///< [node][iter % depth][lane]
+    std::vector<std::array<Word, numClusters>> scratchpad_;
+    std::vector<std::vector<kernelc::ScheduledOp>> loopBuckets_;
+    std::vector<kernelc::ScheduledOp> proOps_, epiOps_;  // time-sorted
+    /** Saved accumulator finals for restart carry-over, per kernel. */
+    std::unordered_map<const kernelc::CompiledKernel *,
+                       std::unordered_map<uint32_t,
+                                          std::array<Word, numClusters>>>
+        accSaved_;
+    const kernelc::CompiledKernel *lastKernel_ = nullptr;
+    /** Kernels that have been launched at least once (Restart guard). */
+    std::unordered_set<const kernelc::CompiledKernel *> hasRun_;
+    bool skipPrologue_ = false;
+    uint64_t loopWindow_ = 0;   ///< total issue window of the main loop
+    uint64_t stallWatchdog_ = 0;
+    /** Per-cycle scratch (avoids per-tick allocation). */
+    mutable std::vector<const kernelc::ScheduledOp *> opScratch_;
+    mutable std::vector<uint32_t> iterScratch_;
+
+    ClusterStats stats_;
+};
+
+} // namespace imagine
+
+#endif // IMAGINE_CLUSTER_CLUSTER_HH

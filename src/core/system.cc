@@ -1,0 +1,220 @@
+#include "core/system.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace imagine
+{
+
+ImagineSystem::ImagineSystem(const MachineConfig &cfg)
+    : cfg_(cfg), srf_(cfg_), mem_(cfg_, srf_), clusters_(cfg_, srf_),
+      sc_(cfg_, srf_, mem_, clusters_, kernels_), host_(cfg_, sc_)
+{
+}
+
+uint16_t
+ImagineSystem::registerKernel(kernelc::KernelGraph g)
+{
+    return registerKernel(kernelc::compile(std::move(g), cfg_));
+}
+
+uint16_t
+ImagineSystem::registerKernel(kernelc::KernelGraph g,
+                              const kernelc::CompileOptions &opts)
+{
+    return registerKernel(kernelc::compile(std::move(g), cfg_, opts));
+}
+
+uint16_t
+ImagineSystem::registerKernel(kernelc::CompiledKernel k)
+{
+    kernels_.push_back(std::move(k));
+    return static_cast<uint16_t>(kernels_.size() - 1);
+}
+
+namespace
+{
+
+ClusterStats
+diff(const ClusterStats &a, const ClusterStats &b)
+{
+    ClusterStats d;
+    d.startupCycles = a.startupCycles - b.startupCycles;
+    d.prologueCycles = a.prologueCycles - b.prologueCycles;
+    d.loopCycles = a.loopCycles - b.loopCycles;
+    d.epilogueCycles = a.epilogueCycles - b.epilogueCycles;
+    d.shutdownCycles = a.shutdownCycles - b.shutdownCycles;
+    d.stallCycles = a.stallCycles - b.stallCycles;
+    d.primingCycles = a.primingCycles - b.primingCycles;
+    d.issuedOps = a.issuedOps - b.issuedOps;
+    d.arithOps = a.arithOps - b.arithOps;
+    d.fpOps = a.fpOps - b.fpOps;
+    d.lrfReads = a.lrfReads - b.lrfReads;
+    d.lrfWrites = a.lrfWrites - b.lrfWrites;
+    d.spAccesses = a.spAccesses - b.spAccesses;
+    d.commWords = a.commWords - b.commWords;
+    d.sbReads = a.sbReads - b.sbReads;
+    d.sbWrites = a.sbWrites - b.sbWrites;
+    d.kernelsRun = a.kernelsRun - b.kernelsRun;
+    d.kernelStreamWords = a.kernelStreamWords - b.kernelStreamWords;
+    return d;
+}
+
+SrfStats
+diff(const SrfStats &a, const SrfStats &b)
+{
+    return {a.wordsTransferred - b.wordsTransferred,
+            a.busyCycles - b.busyCycles};
+}
+
+MemStats
+diff(const MemStats &a, const MemStats &b)
+{
+    MemStats d;
+    d.wordsLoaded = a.wordsLoaded - b.wordsLoaded;
+    d.wordsStored = a.wordsStored - b.wordsStored;
+    d.cacheHits = a.cacheHits - b.cacheHits;
+    d.dramAccesses = a.dramAccesses - b.dramAccesses;
+    d.rowMisses = a.rowMisses - b.rowMisses;
+    d.bugPrecharges = a.bugPrecharges - b.bugPrecharges;
+    d.channelBusyMemCycles =
+        a.channelBusyMemCycles - b.channelBusyMemCycles;
+    return d;
+}
+
+ScStats
+diff(const ScStats &a, const ScStats &b)
+{
+    ScStats d;
+    d.instrsRetired = a.instrsRetired - b.instrsRetired;
+    for (int i = 0; i < static_cast<int>(StreamOpKind::NumKinds); ++i)
+        d.kindCount[i] = a.kindCount[i] - b.kindCount[i];
+    d.ucodeLoadsIssued = a.ucodeLoadsIssued - b.ucodeLoadsIssued;
+    d.ucodeWordsLoaded = a.ucodeWordsLoaded - b.ucodeWordsLoaded;
+    d.memOpWords = a.memOpWords - b.memOpWords;
+    d.memStreamOps = a.memStreamOps - b.memStreamOps;
+    return d;
+}
+
+HostStats
+diff(const HostStats &a, const HostStats &b)
+{
+    HostStats d;
+    d.instrsSent = a.instrsSent - b.instrsSent;
+    d.scoreboardFullCycles =
+        a.scoreboardFullCycles - b.scoreboardFullCycles;
+    d.dependencyStallCycles =
+        a.dependencyStallCycles - b.dependencyStallCycles;
+    d.interfaceBusyCycles = a.interfaceBusyCycles - b.interfaceBusyCycles;
+    return d;
+}
+
+} // namespace
+
+RunResult
+ImagineSystem::run(const StreamProgram &program, bool playback,
+                   uint64_t cycleLimit)
+{
+    ClusterStats cs0 = clusters_.stats();
+    SrfStats ss0 = srf_.stats();
+    MemStats ms0 = mem_.stats();
+    ScStats sc0 = sc_.stats();
+    HostStats hs0 = host_.stats();
+
+    host_.loadProgram(program, playback);
+
+    RunResult r;
+    uint64_t start = cycle_;
+    uint64_t idle[5] = {};  // indexed by IdleCause
+
+    while (true) {
+        bool finished = host_.finished() && sc_.drained() &&
+                        sc_.quiescent() && !clusters_.busy();
+        if (finished)
+            break;
+        host_.tick(cycle_);
+        sc_.tick(cycle_);
+        clusters_.tick();
+        mem_.tick(cycle_);
+        srf_.tick();
+        if (!clusters_.busy())
+            ++idle[static_cast<int>(sc_.idleCause())];
+        ++cycle_;
+        IMAGINE_ASSERT(cycle_ - start < cycleLimit,
+                       "program exceeded the cycle limit");
+    }
+
+    r.cycles = cycle_ - start;
+    r.seconds = static_cast<double>(r.cycles) / cfg_.coreClockHz;
+    r.cluster = diff(clusters_.stats(), cs0);
+    r.srf = diff(srf_.stats(), ss0);
+    r.mem = diff(mem_.stats(), ms0);
+    r.sc = diff(sc_.stats(), sc0);
+    r.host = diff(host_.stats(), hs0);
+
+    // --- Fig. 11 attribution -------------------------------------------
+    ExecBreakdown &bd = r.breakdown;
+    bd.ucodeStall = idle[static_cast<int>(IdleCause::UcodeLoad)];
+    bd.memStall = idle[static_cast<int>(IdleCause::Memory)];
+    bd.scOverhead = idle[static_cast<int>(IdleCause::ScOverhead)];
+    bd.hostStall = idle[static_cast<int>(IdleCause::Host)];
+
+    uint64_t steady = r.cluster.loopCycles -
+                      std::min(r.cluster.primingCycles,
+                               r.cluster.loopCycles);
+    // Ideal operation time: each op class at its own peak rate
+    // (40 fp slots/cycle; 128 packed integer ops/cycle).
+    double fpPeak = (cfg_.numAdders + cfg_.numMultipliers) * numClusters;
+    double intPeak = (4.0 * cfg_.numAdders + 2.0 * cfg_.numMultipliers) *
+                     numClusters;
+    uint64_t intOps = r.cluster.arithOps - r.cluster.fpOps;
+    auto ops = static_cast<uint64_t>(
+        static_cast<double>(r.cluster.fpOps) / fpPeak +
+        static_cast<double>(intOps) / intPeak);
+    bd.operations = std::min(ops, steady);
+    bd.mainLoopOverhead = steady - bd.operations;
+    bd.nonMainLoop = r.cluster.startupCycles + r.cluster.prologueCycles +
+                     r.cluster.epilogueCycles +
+                     r.cluster.shutdownCycles +
+                     std::min(r.cluster.primingCycles,
+                              r.cluster.loopCycles);
+    bd.clusterStall = r.cluster.stallCycles;
+
+    // --- headline rates --------------------------------------------------
+    if (r.seconds > 0.0) {
+        r.gops = static_cast<double>(r.cluster.arithOps) / r.seconds /
+                 1e9;
+        r.gflops = static_cast<double>(r.cluster.fpOps) / r.seconds /
+                   1e9;
+        r.lrfGBs = static_cast<double>(r.cluster.lrfReads +
+                                       r.cluster.lrfWrites) *
+                   4.0 / r.seconds / 1e9;
+        r.srfGBs = static_cast<double>(r.srf.wordsTransferred) * 4.0 /
+                   r.seconds / 1e9;
+        r.memGBs = static_cast<double>(r.mem.wordsLoaded +
+                                       r.mem.wordsStored) *
+                   4.0 / r.seconds / 1e9;
+        r.hostMips = static_cast<double>(r.host.instrsSent) /
+                     r.seconds / 1e6;
+    }
+    r.ipc = r.cycles
+                ? static_cast<double>(r.cluster.issuedOps) / r.cycles
+                : 0.0;
+
+    // --- power ------------------------------------------------------------
+    r.activity.fpOps = r.cluster.fpOps;
+    r.activity.intOps = intOps;
+    r.activity.issuedOps = r.cluster.issuedOps;
+    r.activity.lrfWords = r.cluster.lrfReads + r.cluster.lrfWrites;
+    r.activity.srfWords = r.srf.wordsTransferred;
+    r.activity.spAccesses = r.cluster.spAccesses;
+    r.activity.commWords = r.cluster.commWords;
+    r.activity.dramWords = r.mem.wordsLoaded + r.mem.wordsStored;
+    r.activity.hostInstrs = r.host.instrsSent;
+    r.watts = estimatePower(r.activity, r.cycles, cfg_);
+
+    return r;
+}
+
+} // namespace imagine

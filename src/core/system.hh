@@ -1,0 +1,155 @@
+/**
+ * @file
+ * ImagineSystem: the top-level facade tying every component together.
+ *
+ * A system owns one Imagine processor (clusters, SRF, memory system,
+ * stream controller) plus its host processor, a kernel registry, and
+ * the cycle loop.  Applications:
+ *
+ *   1. compile kernels through registerKernel(),
+ *   2. stage data into memory() (the off-chip SDRAM image),
+ *   3. author a stream program with newProgram() / StreamProgramBuilder,
+ *   4. run() it, receiving a RunResult with the paper's metrics:
+ *      cycles, the Fig. 11 execution-time breakdown, arithmetic rates,
+ *      bandwidth-hierarchy usage, IPC and modeled power.
+ */
+
+#ifndef IMAGINE_CORE_SYSTEM_HH
+#define IMAGINE_CORE_SYSTEM_HH
+
+#include <memory>
+
+#include "cluster/cluster.hh"
+#include "host/host_processor.hh"
+#include "host/stream_controller.hh"
+#include "kernelc/dfg.hh"
+#include "kernelc/schedule.hh"
+#include "mem/memory.hh"
+#include "power/power.hh"
+#include "sim/config.hh"
+#include "srf/srf.hh"
+#include "streamc/program_builder.hh"
+
+namespace imagine
+{
+
+/** Execution-time breakdown in cycles (Fig. 11 categories). */
+struct ExecBreakdown
+{
+    // Kernel run time (clusters busy).
+    uint64_t operations = 0;        ///< ideal time for the ops executed
+    uint64_t mainLoopOverhead = 0;  ///< ILP limits + load imbalance
+    uint64_t nonMainLoop = 0;       ///< prologue/epilogue/priming/startup
+    uint64_t clusterStall = 0;      ///< SRF-wait stalls inside kernels
+    // Cluster-idle time, attributed by the paper's priority rule.
+    uint64_t ucodeStall = 0;
+    uint64_t memStall = 0;
+    uint64_t scOverhead = 0;
+    uint64_t hostStall = 0;
+
+    uint64_t
+    total() const
+    {
+        return operations + mainLoopOverhead + nonMainLoop +
+               clusterStall + ucodeStall + memStall + scOverhead +
+               hostStall;
+    }
+    uint64_t
+    kernelTime() const
+    {
+        return operations + mainLoopOverhead + nonMainLoop +
+               clusterStall;
+    }
+};
+
+/** Everything a run() produced. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    double seconds = 0.0;
+    ExecBreakdown breakdown;
+
+    // Arithmetic performance.
+    double gops = 0.0;          ///< billions of (weighted) arithmetic ops/s
+    double gflops = 0.0;
+    double ipc = 0.0;           ///< ops issued per cycle (all clusters)
+
+    // Bandwidth hierarchy (GB/s sustained).
+    double lrfGBs = 0.0;
+    double srfGBs = 0.0;
+    double memGBs = 0.0;
+    double hostMips = 0.0;      ///< stream instructions per second / 1e6
+
+    double watts = 0.0;
+
+    // Raw per-component deltas for this run.
+    ClusterStats cluster;
+    SrfStats srf;
+    MemStats mem;
+    ScStats sc;
+    HostStats host;
+    SystemActivity activity;
+};
+
+/** One Imagine processor plus host. */
+class ImagineSystem
+{
+  public:
+    explicit ImagineSystem(const MachineConfig &cfg);
+
+    /** Compile and register a kernel graph; returns its kernel id. */
+    uint16_t registerKernel(kernelc::KernelGraph g);
+    /** Compile with explicit compiler options (ablation hooks). */
+    uint16_t registerKernel(kernelc::KernelGraph g,
+                            const kernelc::CompileOptions &opts);
+    /** Register a pre-compiled kernel. */
+    uint16_t registerKernel(kernelc::CompiledKernel k);
+    const KernelRegistry &kernels() const { return kernels_; }
+    const kernelc::CompiledKernel &kernel(uint16_t id) const
+    {
+        return kernels_.at(id);
+    }
+
+    const MachineConfig &config() const { return cfg_; }
+    MemorySpace &memory() { return mem_.space(); }
+    Srf &srf() { return srf_; }
+    MemorySystem &memorySystem() { return mem_; }
+    ClusterArray &clusters() { return clusters_; }
+    StreamController &streamController() { return sc_; }
+
+    /** A program builder bound to this system's config and kernels. */
+    streamc::StreamProgramBuilder newProgram() const
+    {
+        return streamc::StreamProgramBuilder(cfg_, kernels_);
+    }
+
+    /**
+     * Run a stream program to completion.
+     * @param program the program (must outlive the call)
+     * @param playback use the lightweight playback dispatcher
+     * @param cycleLimit watchdog bound
+     */
+    RunResult run(const StreamProgram &program, bool playback = true,
+                  uint64_t cycleLimit = 1ull << 33);
+
+    /** Host-visible scalar result register. */
+    Word readUcr(int i) const { return sc_.readUcr(i); }
+    /** Host-visible stream descriptor (lengths of produced streams). */
+    const Sdr &readSdr(int i) const { return sc_.readSdr(i); }
+
+    Cycle now() const { return cycle_; }
+
+  private:
+    MachineConfig cfg_;
+    KernelRegistry kernels_;
+    Srf srf_;
+    MemorySystem mem_;
+    ClusterArray clusters_;
+    StreamController sc_;
+    HostProcessor host_;
+    Cycle cycle_ = 0;
+};
+
+} // namespace imagine
+
+#endif // IMAGINE_CORE_SYSTEM_HH

@@ -1,0 +1,74 @@
+#include "host/host_processor.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace imagine
+{
+
+HostProcessor::HostProcessor(const MachineConfig &cfg,
+                             StreamController &sc)
+    : cfg_(cfg), sc_(sc)
+{
+}
+
+void
+HostProcessor::loadProgram(const StreamProgram &program, bool playback)
+{
+    program_ = &program;
+    next_ = 0;
+    budget_ = 0.0;
+    blockedUntil_ = 0;
+    playback_ = playback;
+    sc_.beginProgram(program);
+}
+
+void
+HostProcessor::tick(Cycle now)
+{
+    if (!program_ || finished())
+        return;
+
+    double cost = cfg_.hostCyclesPerInstr();
+    if (!playback_)
+        cost += cfg_.nonPlaybackHostOverheadCycles;
+    budget_ = std::min(budget_ + 1.0, 2.0 * cost);
+
+    if (blockedUntil_ > now) {
+        ++stats_.dependencyStallCycles;
+        return;
+    }
+
+    const StreamInstr &si = program_->instrs[next_];
+    if (si.kind == StreamOpKind::RegRead) {
+        // The host polls for the producing instructions, then spends a
+        // full read-compute-write round trip before moving on.
+        for (uint32_t d : si.deps)
+            if (!sc_.instrDone(d))
+                return;
+        if (budget_ < cost)
+            return;
+        budget_ -= cost;
+        ++stats_.instrsSent;
+        sc_.retireHostSide(static_cast<uint32_t>(next_), si.kind);
+        blockedUntil_ = now + cfg_.hostRoundTripCycles;
+        ++next_;
+        return;
+    }
+
+    if (budget_ < cost) {
+        ++stats_.interfaceBusyCycles;
+        return;
+    }
+    if (sc_.scoreboardFull()) {
+        ++stats_.scoreboardFullCycles;
+        return;
+    }
+    sc_.enqueue(static_cast<uint32_t>(next_), &si);
+    budget_ -= cost;
+    ++stats_.instrsSent;
+    ++next_;
+}
+
+} // namespace imagine

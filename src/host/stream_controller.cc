@@ -1,0 +1,409 @@
+#include "host/stream_controller.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace imagine
+{
+
+namespace
+{
+
+/** Imagine-memory region holding kernel microcode images. */
+constexpr Addr ucodeImageBase = Addr(1) << 24;
+
+} // namespace
+
+StreamController::StreamController(const MachineConfig &cfg, Srf &srf,
+                                   MemorySystem &mem,
+                                   ClusterArray &clusters,
+                                   const KernelRegistry &kernels)
+    : cfg_(cfg), srf_(srf), mem_(mem), clusters_(clusters),
+      kernels_(kernels), sdrs_(cfg.numSdrs), mars_(cfg.numMars),
+      ucrs_(cfg.numUcrs, 0)
+{
+}
+
+void
+StreamController::beginProgram(const StreamProgram &program)
+{
+    IMAGINE_ASSERT(slots_.empty(), "beginProgram with busy scoreboard");
+    program_ = &program;
+    done_.assign(program.instrs.size(), 0);
+}
+
+void
+StreamController::retireHostSide(uint32_t idx, StreamOpKind kind)
+{
+    IMAGINE_ASSERT(idx < done_.size(), "retire out of range");
+    done_[idx] = 1;
+    ++stats_.instrsRetired;
+    ++stats_.kindCount[static_cast<int>(kind)];
+}
+
+bool
+StreamController::scoreboardFull() const
+{
+    return static_cast<int>(slots_.size()) >= cfg_.scoreboardSlots;
+}
+
+void
+StreamController::enqueue(uint32_t idx, const StreamInstr *instr)
+{
+    IMAGINE_ASSERT(!scoreboardFull(), "scoreboard overflow");
+    IMAGINE_ASSERT(idx < done_.size(), "instruction index out of range");
+    Slot s;
+    s.idx = idx;
+    s.instr = instr;
+    slots_.push_back(std::move(s));
+}
+
+bool
+StreamController::instrDone(uint32_t idx) const
+{
+    return done_[idx] != 0;
+}
+
+bool
+StreamController::depsSatisfied(const Slot &s) const
+{
+    for (uint32_t d : s.instr->deps)
+        if (!done_[d])
+            return false;
+    return true;
+}
+
+bool
+StreamController::ucodeResident(uint16_t kernelId) const
+{
+    return ucodeSize_.count(kernelId) != 0;
+}
+
+bool
+StreamController::startUcodeLoad(uint16_t kernelId, Cycle now)
+{
+    (void)now;
+    if (ucodeLoadAg_ >= 0)
+        return ucodeLoading_ == kernelId;
+    int ag = -1;
+    for (int i = 0; i < cfg_.numAddressGenerators; ++i) {
+        if (mem_.agIdle(i) && i != reservedAg_) {
+            ag = i;
+            break;
+        }
+    }
+    if (ag < 0)
+        return false;
+    const kernelc::CompiledKernel &k = kernels_[kernelId];
+    IMAGINE_ASSERT(k.ucodeInstrs <= cfg_.ucodeStoreInstrs,
+                   "kernel %s does not fit in the microcode store",
+                   k.name());
+    // Evict least-recently-used kernels until the new one fits.
+    while (ucodeUsed_ + k.ucodeInstrs > cfg_.ucodeStoreInstrs) {
+        IMAGINE_ASSERT(!ucodeLru_.empty(), "microcode store accounting");
+        uint16_t victim = ucodeLru_.back();
+        ucodeLru_.pop_back();
+        ucodeUsed_ -= ucodeSize_[victim];
+        ucodeSize_.erase(victim);
+    }
+    uint32_t words = static_cast<uint32_t>(k.ucodeInstrs) *
+                     cfg_.ucodeWordsPerInstr;
+    mem_.startSinkLoad(ag, ucodeImageBase + Addr(kernelId) * 65536, words);
+    ucodeLoadAg_ = ag;
+    ucodeLoading_ = kernelId;
+    ++stats_.ucodeLoadsIssued;
+    stats_.ucodeWordsLoaded += words;
+    return true;
+}
+
+void
+StreamController::tryIssue(Slot &s, Cycle now)
+{
+    int extra = 0;
+    switch (s.instr->kind) {
+      case StreamOpKind::KernelExec:
+      case StreamOpKind::Restart:
+      case StreamOpKind::MemLoad:
+      case StreamOpKind::MemStore:
+        extra = cfg_.quirkIssueLatency;
+        break;
+      default:
+        break;
+    }
+    s.state = SlotState::Issuing;
+    s.issueDone = now + cfg_.scIssueOverhead + extra;
+    issueBusy_ = true;
+    issueBusyUntil_ = s.issueDone;
+}
+
+void
+StreamController::dispatch(Slot &s, Cycle now)
+{
+    (void)now;
+    const StreamInstr &si = *s.instr;
+    switch (si.kind) {
+      case StreamOpKind::SdrWrite:
+        sdrs_[si.regIndex] = si.sdr;
+        complete(s);
+        return;
+      case StreamOpKind::MarWrite:
+        mars_[si.regIndex] = si.mar;
+        complete(s);
+        return;
+      case StreamOpKind::UcrWrite:
+        ucrs_[si.regIndex] = si.value;
+        complete(s);
+        return;
+      case StreamOpKind::Move:
+      case StreamOpKind::Sync:
+      case StreamOpKind::RegRead:
+      case StreamOpKind::UcodeLoad:
+        complete(s);
+        return;
+      case StreamOpKind::MemLoad:
+      case StreamOpKind::MemStore: {
+        const Mar &mar = mars_[si.marIndex];
+        const Sdr &data = sdrs_[si.dataSdr];
+        const Sdr *idx = si.indexed ? &sdrs_[si.indexSdr] : nullptr;
+        if (reservedAg_ == s.ag)
+            reservedAg_ = -1;
+        if (si.kind == StreamOpKind::MemLoad)
+            mem_.startLoad(s.ag, mar, data, idx);
+        else
+            mem_.startStore(s.ag, mar, data, idx);
+        stats_.memOpWords += data.length;
+        ++stats_.memStreamOps;
+        s.state = SlotState::Running;
+        return;
+      }
+      case StreamOpKind::KernelExec:
+      case StreamOpKind::Restart: {
+        const kernelc::CompiledKernel &k = kernels_[si.kernelId];
+        std::vector<ClusterArray::Binding> ins, outs;
+        for (size_t i = 0; i < si.inSdrs.size(); ++i) {
+            Sdr sd = sdrs_[si.inSdrs[i]];
+            if (si.truncateInputs) {
+                uint32_t group = static_cast<uint32_t>(
+                                     k.graph.inRec[i]) *
+                                 numClusters;
+                sd.length -= sd.length % group;
+            }
+            uint32_t window = static_cast<uint32_t>(k.graph.inRec[i]) *
+                              numClusters * 2;
+            s.inClients.push_back(srf_.openIn(sd, window));
+            ins.push_back({s.inClients.back(), sd.length});
+        }
+        for (size_t i = 0; i < si.outSdrs.size(); ++i) {
+            const Sdr &sd = sdrs_[si.outSdrs[i]];
+            uint32_t rec = std::max<uint32_t>(k.graph.outRec[i], 1);
+            s.outClients.push_back(
+                srf_.openOut(sd, rec * numClusters * 2));
+            outs.push_back({s.outClients.back(), sd.length});
+        }
+        // Snapshot kernel parameters into the micro-controller.
+        for (int i = 0; i < cfg_.numUcrs; ++i)
+            clusters_.setUcr(i, ucrs_[static_cast<size_t>(i)]);
+        clusters_.start(&k, std::move(ins), std::move(outs),
+                        si.explicitTrip,
+                        si.kind == StreamOpKind::Restart);
+        // Mark recency for the microcode store.
+        auto it = std::find(ucodeLru_.begin(), ucodeLru_.end(),
+                            si.kernelId);
+        if (it != ucodeLru_.end())
+            ucodeLru_.erase(it);
+        ucodeLru_.push_front(si.kernelId);
+        s.state = SlotState::Running;
+        return;
+      }
+      default:
+        IMAGINE_PANIC("dispatch of unknown stream op kind");
+    }
+}
+
+void
+StreamController::complete(Slot &s)
+{
+    done_[s.idx] = 1;
+    ++stats_.instrsRetired;
+    ++stats_.kindCount[static_cast<int>(s.instr->kind)];
+    s.instr = nullptr;  // marks the slot for removal
+}
+
+void
+StreamController::tick(Cycle now)
+{
+    // --- finish a microcode load ---------------------------------------
+    if (ucodeLoadAg_ >= 0 && mem_.agDone(ucodeLoadAg_)) {
+        mem_.finish(ucodeLoadAg_);
+        const kernelc::CompiledKernel &k = kernels_[ucodeLoading_];
+        ucodeSize_[ucodeLoading_] = k.ucodeInstrs;
+        ucodeUsed_ += k.ucodeInstrs;
+        ucodeLru_.push_front(ucodeLoading_);
+        ucodeLoadAg_ = -1;
+        ucodeLoading_ = UINT16_MAX;
+    }
+
+    // --- completions and dispatches ------------------------------------
+    for (Slot &s : slots_) {
+        if (!s.instr)
+            continue;
+        if (s.state == SlotState::Issuing && now >= s.issueDone) {
+            dispatch(s, now);
+            continue;
+        }
+        if (s.state != SlotState::Running)
+            continue;
+        switch (s.instr->kind) {
+          case StreamOpKind::MemLoad:
+          case StreamOpKind::MemStore:
+            if (mem_.agDone(s.ag)) {
+                mem_.finish(s.ag);
+                complete(s);
+            }
+            break;
+          case StreamOpKind::KernelExec:
+          case StreamOpKind::Restart:
+            if (clusters_.done()) {
+                clusters_.retire();
+                for (int c : s.inClients)
+                    srf_.close(c);
+                // Conditional streams report their produced length back
+                // into the SDR file.
+                for (size_t i = 0; i < s.outClients.size(); ++i) {
+                    uint32_t produced = srf_.close(s.outClients[i]);
+                    sdrs_[s.instr->outSdrs[i]].length = produced;
+                }
+                // Scalar kernel results become host-visible.
+                const kernelc::CompiledKernel &k =
+                    kernels_[s.instr->kernelId];
+                for (const kernelc::Node &n : k.graph.nodes) {
+                    if (n.op == Opcode::UcrWr)
+                        ucrs_[n.payload] = clusters_.ucr(
+                            static_cast<int>(n.payload));
+                }
+                complete(s);
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    std::erase_if(slots_, [](const Slot &s) { return !s.instr; });
+
+    if (issueBusy_ && now >= issueBusyUntil_)
+        issueBusy_ = false;
+
+    // --- pick the next instruction to issue (oldest eligible) ----------
+    if (!issueBusy_) {
+        bool kernelInFlight = clusters_.busy();
+        for (Slot &s : slots_) {
+            if (s.state == SlotState::Issuing ||
+                s.state == SlotState::Running) {
+                if (s.instr->kind == StreamOpKind::KernelExec ||
+                    s.instr->kind == StreamOpKind::Restart) {
+                    kernelInFlight = true;
+                }
+            }
+        }
+        for (Slot &s : slots_) {
+            if (s.state != SlotState::Waiting &&
+                s.state != SlotState::NeedUcode) {
+                continue;
+            }
+            if (!depsSatisfied(s))
+                continue;
+            switch (s.instr->kind) {
+              case StreamOpKind::KernelExec:
+              case StreamOpKind::Restart: {
+                if (kernelInFlight)
+                    continue;
+                if (!ucodeResident(s.instr->kernelId)) {
+                    s.state = SlotState::NeedUcode;
+                    startUcodeLoad(s.instr->kernelId, now);
+                    continue;
+                }
+                s.state = SlotState::Waiting;
+                tryIssue(s, now);
+                break;
+              }
+              case StreamOpKind::MemLoad:
+              case StreamOpKind::MemStore: {
+                int ag = -1;
+                for (int i = 0; i < cfg_.numAddressGenerators; ++i) {
+                    if (mem_.agIdle(i) && i != ucodeLoadAg_ &&
+                        i != reservedAg_) {
+                        ag = i;
+                        break;
+                    }
+                }
+                // Reserve an AG for a pending microcode load.
+                if (ag < 0)
+                    continue;
+                s.ag = ag;
+                reservedAg_ = ag;   // held until dispatch
+                tryIssue(s, now);
+                break;
+              }
+              default:
+                tryIssue(s, now);
+                break;
+            }
+            if (issueBusy_)
+                break;
+        }
+    }
+
+    classifyIdle();
+}
+
+void
+StreamController::classifyIdle()
+{
+    if (clusters_.busy()) {
+        idleCause_ = IdleCause::None;
+        return;
+    }
+    bool kernelNeedsUcode = false;
+    bool kernelBlockedOnMem = false;
+    bool kernelIssuing = false;
+    bool anyKernel = false;
+    bool anyMem = false;
+    for (const Slot &s : slots_) {
+        if (!s.instr)
+            continue;
+        StreamOpKind k = s.instr->kind;
+        if (isMemOp(k))
+            anyMem = true;
+        if (k != StreamOpKind::KernelExec && k != StreamOpKind::Restart)
+            continue;
+        anyKernel = true;
+        if (s.state == SlotState::NeedUcode) {
+            kernelNeedsUcode = true;
+        } else if (s.state == SlotState::Issuing) {
+            kernelIssuing = true;
+        } else if (s.state == SlotState::Waiting) {
+            // Blocked on a memory dependency?
+            for (uint32_t d : s.instr->deps) {
+                if (!done_[d] && program_ &&
+                    isMemOp(program_->instrs[d].kind)) {
+                    kernelBlockedOnMem = true;
+                }
+            }
+            if (depsSatisfied(s))
+                kernelIssuing = true;   // eligible, waiting for pipeline
+        }
+    }
+    if (kernelNeedsUcode)
+        idleCause_ = IdleCause::UcodeLoad;
+    else if (kernelBlockedOnMem)
+        idleCause_ = IdleCause::Memory;
+    else if (kernelIssuing)
+        idleCause_ = IdleCause::ScOverhead;
+    else if (!anyKernel && anyMem)
+        idleCause_ = IdleCause::Memory;
+    else
+        idleCause_ = IdleCause::Host;
+}
+
+} // namespace imagine

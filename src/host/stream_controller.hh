@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The on-chip stream controller: a 32-slot scoreboard of stream
+ * instructions with compiler-encoded dependencies, issue logic for the
+ * cluster array and the two address generators, the SDR/MAR/UCR
+ * register files, and the microcode store with dynamic kernel loading.
+ *
+ * The controller also classifies why the clusters are idle on any given
+ * cycle (microcode load / memory / issue overhead / host bandwidth),
+ * using the paper's earliest-in-the-list attribution rule (section 4.2).
+ */
+
+#ifndef IMAGINE_HOST_STREAM_CONTROLLER_HH
+#define IMAGINE_HOST_STREAM_CONTROLLER_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "isa/stream.hh"
+#include "kernelc/schedule.hh"
+#include "mem/memory.hh"
+#include "sim/config.hh"
+#include "srf/srf.hh"
+
+namespace imagine
+{
+
+/** Registered, compiled kernels addressable by stream instructions. */
+using KernelRegistry = std::vector<kernelc::CompiledKernel>;
+
+/** Why the clusters are idle (Fig. 11 attribution categories). */
+enum class IdleCause : uint8_t
+{
+    None,           ///< clusters busy
+    UcodeLoad,      ///< kernel blocked on a microcode load
+    Memory,         ///< kernel blocked on a memory stream op
+    ScOverhead,     ///< stream-controller issue overhead
+    Host            ///< waiting on the host interface
+};
+
+/** Stream-controller statistics. */
+struct ScStats
+{
+    uint64_t instrsRetired = 0;
+    uint64_t kindCount[static_cast<int>(StreamOpKind::NumKinds)] = {};
+    uint64_t ucodeLoadsIssued = 0;  ///< dynamic microcode loads
+    uint64_t ucodeWordsLoaded = 0;
+    uint64_t memOpWords = 0;        ///< words moved by mem stream ops
+    uint64_t memStreamOps = 0;
+};
+
+/** The stream controller. */
+class StreamController
+{
+  public:
+    StreamController(const MachineConfig &cfg, Srf &srf,
+                     MemorySystem &mem, ClusterArray &clusters,
+                     const KernelRegistry &kernels);
+
+    // --- host-side interface -------------------------------------------
+    bool scoreboardFull() const;
+    /** Push instruction @p idx of the running program. */
+    void enqueue(uint32_t idx, const StreamInstr *instr);
+    /** True once program instruction @p idx has completed. */
+    bool instrDone(uint32_t idx) const;
+    /** True when the scoreboard is empty. */
+    bool drained() const { return slots_.empty(); }
+    /** Prepare to run @p program (dependency kinds are consulted for
+     *  idle-cause classification). */
+    void beginProgram(const StreamProgram &program);
+    /** Host-side retirement of instructions that never enter the
+     *  scoreboard (RegRead host dependencies). */
+    void retireHostSide(uint32_t idx, StreamOpKind kind);
+    /** True when no internally-generated work (microcode load) remains. */
+    bool quiescent() const { return ucodeLoadAg_ < 0; }
+
+    void tick(Cycle now);
+
+    /** Current idle-cause classification (valid when clusters idle). */
+    IdleCause idleCause() const { return idleCause_; }
+
+    /** Host-visible scalar read (UCR file; used for host dependencies). */
+    Word readUcr(int i) const { return ucrs_[static_cast<size_t>(i)]; }
+    /** Host-visible SDR read (stream lengths for conditional streams). */
+    const Sdr &readSdr(int i) const
+    {
+        return sdrs_[static_cast<size_t>(i)];
+    }
+
+    const ScStats &stats() const { return stats_; }
+
+  private:
+    enum class SlotState : uint8_t
+    {
+        Waiting,        ///< dependencies not yet satisfied
+        NeedUcode,      ///< kernel waiting for microcode residency
+        Issuing,        ///< in the issue pipeline
+        Running,        ///< on its resource
+    };
+
+    struct Slot
+    {
+        uint32_t idx = 0;
+        const StreamInstr *instr = nullptr;
+        SlotState state = SlotState::Waiting;
+        Cycle issueDone = 0;        ///< end of issue pipeline stage
+        int ag = -1;                ///< AG executing a memory op
+        // Kernel bookkeeping.
+        std::vector<int> inClients, outClients;
+    };
+
+    bool depsSatisfied(const Slot &s) const;
+    /** Start the issue stage for a slot whose resource is free. */
+    void tryIssue(Slot &s, Cycle now);
+    /** Move an issued slot onto its resource. */
+    void dispatch(Slot &s, Cycle now);
+    void complete(Slot &s);
+    void classifyIdle();
+
+    // Microcode store management.
+    bool ucodeResident(uint16_t kernelId) const;
+    /** Ensure capacity and begin a load; true if load started. */
+    bool startUcodeLoad(uint16_t kernelId, Cycle now);
+
+    const MachineConfig &cfg_;
+    Srf &srf_;
+    MemorySystem &mem_;
+    ClusterArray &clusters_;
+    const KernelRegistry &kernels_;
+
+    std::vector<Slot> slots_;
+    const StreamProgram *program_ = nullptr;
+    std::vector<uint8_t> done_;         ///< per program instruction
+    int reservedAg_ = -1;               ///< AG held by an issuing mem op
+    bool issueBusy_ = false;            ///< issue pipeline occupancy
+    Cycle issueBusyUntil_ = 0;
+
+    // Register files.
+    std::vector<Sdr> sdrs_;
+    std::vector<Mar> mars_;
+    std::vector<Word> ucrs_;
+
+    // Microcode store: kernelId -> instruction count, LRU-ordered.
+    std::list<uint16_t> ucodeLru_;
+    std::unordered_map<uint16_t, int> ucodeSize_;
+    int ucodeUsed_ = 0;
+    int ucodeLoadAg_ = -1;              ///< AG busy with a microcode load
+    uint16_t ucodeLoading_ = UINT16_MAX;
+
+    IdleCause idleCause_ = IdleCause::Host;
+    ScStats stats_;
+};
+
+} // namespace imagine
+
+#endif // IMAGINE_HOST_STREAM_CONTROLLER_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Kernel-level (VLIW micro-) operation set for the Imagine clusters.
+ *
+ * Each cluster contains three adders, two multipliers, one non-pipelined
+ * divide/square-root unit (DSQ), a scratchpad (SP), and an inter-cluster
+ * communication port (COMM); stream data enters/leaves through stream
+ * buffers (SBIN/SBOUT ports).  Every opcode is bound to one functional
+ * unit class; the kernel scheduler allocates ops to concrete units.
+ *
+ * Subword (packed) opcodes implement the media forms the paper counts
+ * toward peak GOPS: four 8-bit operations per adder and two 16-bit
+ * operations per multiplier per cycle.
+ */
+
+#ifndef IMAGINE_ISA_OPCODE_HH
+#define IMAGINE_ISA_OPCODE_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace imagine
+{
+
+/** Functional-unit class an opcode executes on. */
+enum class FuClass : uint8_t
+{
+    None,   ///< free (immediates, parameters, loop index, cluster id)
+    Adder,  ///< fp/int adder; also logic, compare, select, packed add
+    Mul,    ///< fp/int multiplier; also packed multiply forms
+    Dsq,    ///< divide / square root (not pipelined)
+    Sp,     ///< per-cluster scratchpad
+    Comm,   ///< inter-cluster communication port
+    SbIn,   ///< input stream-buffer read port
+    SbOut,  ///< output stream-buffer write port
+    NumClasses
+};
+
+/** Kernel micro-operation opcodes. */
+enum class Opcode : uint8_t
+{
+    // --- free / sequencer-materialized values ---
+    Imm,     ///< 32-bit immediate (payload in the node)
+    UcrRd,   ///< read kernel scalar parameter (payload = UCR index)
+    Cid,     ///< cluster id, 0..7
+    Iter,    ///< main-loop iteration index (int32)
+
+    // --- adder class: single precision float ---
+    Fadd, Fsub, Fabs, Fneg, Fmin, Fmax,
+    Flt, Fle, Feq,          ///< compare; produce 0/1
+    Ftoi, Itof,             ///< conversions
+    // --- adder class: 32-bit integer / logic ---
+    Iadd, Isub, Iand, Ior, Ixor,
+    Shl, Shr, Sra,
+    Ilt, Ile, Ieq, Imin, Imax, Iabs,
+    Select,                 ///< in0 ? in1 : in2
+    Mov,                    ///< pass-through copy
+    // --- adder class: packed subword ---
+    Add16x2, Sub16x2, Absd16x2, Hadd16x2, Min16x2, Max16x2,
+    Shr16x2,   ///< logical shift right of each 16-bit half
+    Add8x4, Sub8x4, Absd8x4, Hadd8x4,
+
+    // --- multiplier class ---
+    Fmul, Imul,
+    Mul16x2,                ///< two independent 16x16 -> low-16 products
+    Dot16x2,                ///< signed 16-bit dot product -> 32-bit
+
+    // --- divide / square root ---
+    Fdiv, Fsqrt,
+
+    // --- scratchpad ---
+    SpRd,                   ///< in0 = word address
+    SpWr,                   ///< in0 = word address, in1 = value
+
+    // --- inter-cluster communication ---
+    CommPerm,               ///< in0 = value, in1 = source lane index
+
+    // --- stream access ---
+    In,                     ///< read next element of input stream (payload)
+    Out,                    ///< write element to output stream (payload)
+    OutCond,                ///< conditional (compacted) stream write:
+                            ///< in0 = value, in1 = nonzero to emit
+    UcrWr,                  ///< write scalar result register (payload)
+
+    // --- compiler pseudo-op ---
+    Acc,                    ///< loop-carried register: in0 = initial
+                            ///< value, in1 = next-iteration value (the
+                            ///< edge carries iteration distance 1)
+
+    NumOpcodes
+};
+
+/** Static per-opcode properties. */
+struct OpInfo
+{
+    const char *name;   ///< mnemonic
+    FuClass cls;        ///< executing unit class
+    uint8_t numIn;      ///< dataflow inputs (0..3)
+    uint8_t opCount;    ///< arithmetic operations counted (packed > 1)
+    bool isFp;          ///< counts toward FLOPS (vs integer OPS)
+    bool isArith;       ///< counts toward arithmetic totals at all
+};
+
+/** Look up static properties of @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** Result latency of @p op in core cycles under @p cfg. */
+int opLatency(Opcode op, const MachineConfig &cfg);
+
+/** Cycles the executing unit stays busy (1 for pipelined units). */
+int opOccupancy(Opcode op, const MachineConfig &cfg);
+
+/**
+ * Functionally evaluate a pure arithmetic op.
+ *
+ * Only valid for opcodes whose unit class is Adder, Mul or Dsq (plus
+ * Mov/Select); stream, scratchpad, COMM and sequencer ops are evaluated
+ * by the cluster engine, which owns the required external state.
+ *
+ * @param op operation
+ * @param in input words (up to 3 used)
+ * @return result word
+ */
+Word evalArith(Opcode op, const Word in[3]);
+
+/** Number of concrete units of @p cls per cluster under @p cfg. */
+int unitsPerCluster(FuClass cls, const MachineConfig &cfg);
+
+} // namespace imagine
+
+#endif // IMAGINE_ISA_OPCODE_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Stream-level instruction set: what the host processor sends to the
+ * Imagine stream controller (section 5.3, Table 4 of the paper).
+ *
+ * Stream Ops either transfer or process entire data streams (kernel
+ * execute, restart, memory load/store); Register Ops write the stream
+ * descriptor registers (SDR), memory address registers (MAR) and kernel
+ * parameter registers (UCR) so that bulky length/location information
+ * does not have to be re-sent with every stream instruction.
+ */
+
+#ifndef IMAGINE_ISA_STREAM_HH
+#define IMAGINE_ISA_STREAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace imagine
+{
+
+/** Stream instruction kinds, grouped as in Table 4. */
+enum class StreamOpKind : uint8_t
+{
+    KernelExec,     ///< run a kernel on SRF streams
+    Restart,        ///< continue a kernel with fresh stream bindings
+    MemLoad,        ///< DRAM -> SRF stream transfer through an AG
+    MemStore,       ///< SRF -> DRAM stream transfer through an AG
+    SdrWrite,       ///< write a stream descriptor register
+    MarWrite,       ///< write a memory address register
+    UcrWrite,       ///< write a kernel scalar parameter register
+    Move,           ///< register-file to register-file transfer
+    UcodeLoad,      ///< load kernel microcode into the on-chip store
+    RegRead,        ///< host reads a register (host dependency!)
+    Sync,           ///< host-visible fence
+    NumKinds
+};
+
+/** True for ops that occupy a memory address generator. */
+inline bool
+isMemOp(StreamOpKind k)
+{
+    return k == StreamOpKind::MemLoad || k == StreamOpKind::MemStore;
+}
+
+/** Stream descriptor register: where a stream lives in the SRF. */
+struct Sdr
+{
+    uint32_t srfOffset = 0;     ///< word offset into the SRF
+    uint32_t length = 0;        ///< stream length in words
+};
+
+/** Addressing modes supported by the address generators. */
+enum class MarMode : uint8_t
+{
+    Stride,     ///< base + record-strided access
+    Indexed     ///< gather/scatter: offsets come from an index stream
+};
+
+/** Memory address register: how a stream maps onto DRAM. */
+struct Mar
+{
+    Addr baseWord = 0;          ///< base word address in Imagine memory
+    MarMode mode = MarMode::Stride;
+    uint32_t strideWords = 1;   ///< distance between successive records
+    uint32_t recordWords = 1;   ///< consecutive words per record
+};
+
+/**
+ * One stream instruction as transferred over the host interface.
+ *
+ * @c deps lists program-order indices of earlier instructions this one
+ * must wait for; the dispatcher translates them to scoreboard slots.
+ */
+struct StreamInstr
+{
+    StreamOpKind kind = StreamOpKind::Sync;
+    std::vector<uint32_t> deps;
+
+    // Register ops ----------------------------------------------------
+    uint8_t regIndex = 0;       ///< SDR/MAR/UCR index being written/read
+    Word value = 0;             ///< UCR value / Move payload
+    Sdr sdr;                    ///< payload for SdrWrite
+    Mar mar;                    ///< payload for MarWrite
+
+    // Memory ops ------------------------------------------------------
+    uint8_t marIndex = 0;       ///< MAR describing the DRAM side
+    uint8_t dataSdr = 0;        ///< SDR describing the SRF side
+    uint8_t indexSdr = 0;       ///< SDR holding gather/scatter indices
+    bool indexed = false;
+
+    // Kernel ops ------------------------------------------------------
+    uint16_t kernelId = 0;      ///< index into the kernel registry
+    std::vector<uint8_t> inSdrs;    ///< input stream bindings
+    std::vector<uint8_t> outSdrs;   ///< output stream bindings
+    uint32_t explicitTrip = 0;  ///< loop trip count if no input stream
+    /**
+     * Round input stream lengths down to a whole number of SIMD
+     * iterations.  Used when consuming a conditional stream whose
+     * produced length is data dependent.
+     */
+    bool truncateInputs = false;
+
+    std::string label;          ///< profiling label (optional)
+};
+
+/** A whole stream program: instruction list in program order. */
+struct StreamProgram
+{
+    std::vector<StreamInstr> instrs;
+};
+
+} // namespace imagine
+
+#endif // IMAGINE_ISA_STREAM_HH

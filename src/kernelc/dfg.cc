@@ -1,0 +1,327 @@
+#include "kernelc/dfg.hh"
+
+#include "sim/log.hh"
+
+namespace imagine::kernelc
+{
+
+KernelBuilder::KernelBuilder(std::string name)
+{
+    graph_.name = std::move(name);
+}
+
+Val
+KernelBuilder::addNode(Opcode op, int n, Val a, Val b, Val c)
+{
+    Node node;
+    node.op = op;
+    node.region = region_;
+    node.numIn = static_cast<uint8_t>(n);
+    Val ins[3] = {a, b, c};
+    for (int i = 0; i < n; ++i) {
+        IMAGINE_ASSERT(ins[i].valid(), "kernel %s: op %s input %d unset",
+                       graph_.name.c_str(), opInfo(op).name, i);
+        IMAGINE_ASSERT(ins[i].id < graph_.nodes.size(),
+                       "kernel %s: dangling input", graph_.name.c_str());
+        node.in[i] = ins[i].id;
+    }
+    graph_.nodes.push_back(node);
+    return Val{static_cast<uint32_t>(graph_.nodes.size() - 1)};
+}
+
+void
+KernelBuilder::beginLoop()
+{
+    IMAGINE_ASSERT(region_ == Region::Prologue && !loopClosed_,
+                   "kernel %s: beginLoop called twice", graph_.name.c_str());
+    region_ = Region::Loop;
+}
+
+void
+KernelBuilder::endLoop()
+{
+    IMAGINE_ASSERT(region_ == Region::Loop,
+                   "kernel %s: endLoop outside loop", graph_.name.c_str());
+    IMAGINE_ASSERT(pendingAccs_.empty(),
+                   "kernel %s: %zu accumulator(s) missing accumSet",
+                   graph_.name.c_str(), pendingAccs_.size());
+    // Close the scratchpad ordering chain across iterations: the last SP
+    // access of iteration i must precede the first of iteration i+1.
+    if (spOpsThisIter_.size() > 1) {
+        graph_.orderEdges.push_back(
+            {spOpsThisIter_.back(), spOpsThisIter_.front(), 1, 1});
+    }
+    // Likewise for conditional appends: without the closing edge the
+    // scheduler could issue iteration i+1's first append before
+    // iteration i's last one, corrupting the compaction order.
+    for (int s = 0; s < graph_.numOutStreams; ++s) {
+        if (s < static_cast<int>(lastCondOut_.size()) &&
+            lastCondOut_[s] != UINT32_MAX &&
+            lastCondOut_[s] != firstCondOut_[s]) {
+            graph_.orderEdges.push_back(
+                {lastCondOut_[s], firstCondOut_[s], 1, 1});
+        }
+    }
+    region_ = Region::Epilogue;
+    loopClosed_ = true;
+}
+
+KernelGraph
+KernelBuilder::finish()
+{
+    if (region_ == Region::Loop)
+        endLoop();
+    verify(graph_);
+    return graph_;
+}
+
+Val
+KernelBuilder::imm(Word w)
+{
+    // Immediates are materialized by the sequencer; region Prologue so
+    // they are always loop-invariant.
+    Region saved = region_;
+    region_ = Region::Prologue;
+    Val v = addNode(Opcode::Imm, 0);
+    graph_.nodes[v.id].payload = w;
+    region_ = saved;
+    return v;
+}
+
+Val
+KernelBuilder::ucr(int index)
+{
+    Region saved = region_;
+    region_ = Region::Prologue;
+    Val v = addNode(Opcode::UcrRd, 0);
+    graph_.nodes[v.id].payload = static_cast<Word>(index);
+    region_ = saved;
+    return v;
+}
+
+Val
+KernelBuilder::cid()
+{
+    Region saved = region_;
+    region_ = Region::Prologue;
+    Val v = addNode(Opcode::Cid, 0);
+    region_ = saved;
+    return v;
+}
+
+Val
+KernelBuilder::iterIdx()
+{
+    IMAGINE_ASSERT(region_ == Region::Loop,
+                   "kernel %s: iterIdx outside loop", graph_.name.c_str());
+    return addNode(Opcode::Iter, 0);
+}
+
+int
+KernelBuilder::addInput()
+{
+    graph_.inRec.push_back(0);
+    return graph_.numInStreams++;
+}
+
+int
+KernelBuilder::addOutput(bool conditional)
+{
+    graph_.outRec.push_back(0);
+    graph_.outIsCond.push_back(conditional);
+    graph_.outEpilogueWords.push_back(0);
+    lastCondOut_.resize(graph_.numOutStreams + 1, UINT32_MAX);
+    firstCondOut_.resize(graph_.numOutStreams + 1, UINT32_MAX);
+    return graph_.numOutStreams++;
+}
+
+Val
+KernelBuilder::read(int s)
+{
+    IMAGINE_ASSERT(region_ == Region::Loop,
+                   "kernel %s: stream read outside loop",
+                   graph_.name.c_str());
+    IMAGINE_ASSERT(s >= 0 && s < graph_.numInStreams,
+                   "kernel %s: bad input stream %d", graph_.name.c_str(), s);
+    Val v = addNode(Opcode::In, 0);
+    graph_.nodes[v.id].streamIdx = static_cast<uint16_t>(s);
+    graph_.nodes[v.id].elemIdx = graph_.inRec[s]++;
+    return v;
+}
+
+void
+KernelBuilder::write(int s, Val val)
+{
+    IMAGINE_ASSERT(s >= 0 && s < graph_.numOutStreams,
+                   "kernel %s: bad output stream %d", graph_.name.c_str(), s);
+    IMAGINE_ASSERT(!graph_.outIsCond[s],
+                   "kernel %s: plain write to conditional stream %d",
+                   graph_.name.c_str(), s);
+    Val v = addNode(Opcode::Out, 1, val);
+    graph_.nodes[v.id].streamIdx = static_cast<uint16_t>(s);
+    if (region_ == Region::Loop)
+        graph_.nodes[v.id].elemIdx = graph_.outRec[s]++;
+    else
+        graph_.nodes[v.id].elemIdx = graph_.outEpilogueWords[s]++;
+}
+
+void
+KernelBuilder::writeCond(int s, Val val, Val cond)
+{
+    IMAGINE_ASSERT(region_ == Region::Loop,
+                   "kernel %s: writeCond outside loop", graph_.name.c_str());
+    IMAGINE_ASSERT(s >= 0 && s < graph_.numOutStreams && graph_.outIsCond[s],
+                   "kernel %s: writeCond to non-conditional stream %d",
+                   graph_.name.c_str(), s);
+    Val v = addNode(Opcode::OutCond, 2, val, cond);
+    graph_.nodes[v.id].streamIdx = static_cast<uint16_t>(s);
+    // Conditional appends must stay in stream order both within an
+    // iteration and across software-pipelined iterations.
+    if (lastCondOut_[s] != UINT32_MAX)
+        graph_.orderEdges.push_back({lastCondOut_[s], v.id, 1, 0});
+    else
+        firstCondOut_[s] = v.id;
+    graph_.orderEdges.push_back({v.id, v.id, 1, 1});
+    lastCondOut_[s] = v.id;
+}
+
+Val
+KernelBuilder::op1(Opcode o, Val a)
+{
+    IMAGINE_ASSERT(opInfo(o).numIn == 1, "op1 with %s", opInfo(o).name);
+    return addNode(o, 1, a);
+}
+
+Val
+KernelBuilder::op2(Opcode o, Val a, Val b)
+{
+    IMAGINE_ASSERT(opInfo(o).numIn == 2, "op2 with %s", opInfo(o).name);
+    return addNode(o, 2, a, b);
+}
+
+Val
+KernelBuilder::op3(Opcode o, Val a, Val b, Val c)
+{
+    IMAGINE_ASSERT(opInfo(o).numIn == 3, "op3 with %s", opInfo(o).name);
+    return addNode(o, 3, a, b, c);
+}
+
+Val
+KernelBuilder::spRead(Val addr)
+{
+    Val v = addNode(Opcode::SpRd, 1, addr);
+    if (region_ == Region::Loop) {
+        if (!spOpsThisIter_.empty())
+            graph_.orderEdges.push_back({spOpsThisIter_.back(), v.id, 1, 0});
+        spOpsThisIter_.push_back(v.id);
+    }
+    return v;
+}
+
+void
+KernelBuilder::spWrite(Val addr, Val value)
+{
+    Val v = addNode(Opcode::SpWr, 2, addr, value);
+    if (region_ == Region::Loop) {
+        if (!spOpsThisIter_.empty())
+            graph_.orderEdges.push_back({spOpsThisIter_.back(), v.id, 1, 0});
+        spOpsThisIter_.push_back(v.id);
+    }
+}
+
+Val
+KernelBuilder::comm(Val v, Val srcLane)
+{
+    return addNode(Opcode::CommPerm, 2, v, srcLane);
+}
+
+Val
+KernelBuilder::accum(Val init)
+{
+    IMAGINE_ASSERT(region_ == Region::Loop,
+                   "kernel %s: accum outside loop", graph_.name.c_str());
+    IMAGINE_ASSERT(graph_.nodes[init.id].region == Region::Prologue,
+                   "kernel %s: accumulator init must be loop-invariant",
+                   graph_.name.c_str());
+    Val v = addNode(Opcode::Acc, 1, init);
+    pendingAccs_.push_back(v.id);
+    return v;
+}
+
+void
+KernelBuilder::accumSet(Val acc, Val next)
+{
+    IMAGINE_ASSERT(graph_.nodes[acc.id].op == Opcode::Acc,
+                   "kernel %s: accumSet target is not an accumulator",
+                   graph_.name.c_str());
+    IMAGINE_ASSERT(graph_.nodes[acc.id].numIn == 1,
+                   "kernel %s: accumulator set twice", graph_.name.c_str());
+    IMAGINE_ASSERT(graph_.nodes[next.id].region == Region::Loop,
+                   "kernel %s: accumulator next value must be a loop value",
+                   graph_.name.c_str());
+    graph_.nodes[acc.id].in[1] = next.id;
+    graph_.nodes[acc.id].numIn = 2;
+    std::erase(pendingAccs_, acc.id);
+}
+
+void
+KernelBuilder::ucrOut(int index, Val v)
+{
+    IMAGINE_ASSERT(region_ == Region::Epilogue,
+                   "kernel %s: ucrOut must be in the epilogue",
+                   graph_.name.c_str());
+    Val n = addNode(Opcode::UcrWr, 1, v);
+    graph_.nodes[n.id].payload = static_cast<Word>(index);
+}
+
+void
+verify(const KernelGraph &g)
+{
+    auto regionRank = [](Region r) { return static_cast<int>(r); };
+    for (size_t i = 0; i < g.nodes.size(); ++i) {
+        const Node &n = g.nodes[i];
+        const OpInfo &info = opInfo(n.op);
+        IMAGINE_ASSERT(n.numIn == info.numIn || n.op == Opcode::Acc,
+                       "kernel %s: node %zu (%s) has %d inputs, expects %d",
+                       g.name.c_str(), i, info.name, n.numIn, info.numIn);
+        for (int k = 0; k < n.numIn; ++k) {
+            IMAGINE_ASSERT(n.in[k] < g.nodes.size(),
+                           "kernel %s: node %zu input out of range",
+                           g.name.c_str(), i);
+            const Node &p = g.nodes[n.in[k]];
+            // The accumulator's next edge is the only legal
+            // back-reference from a node to a same-region later value;
+            // all other edges must respect region ordering.
+            if (!(n.op == Opcode::Acc && k == 1)) {
+                IMAGINE_ASSERT(
+                    regionRank(p.region) <= regionRank(n.region),
+                    "kernel %s: node %zu (%s) reads across regions",
+                    g.name.c_str(), i, info.name);
+            }
+        }
+        if (n.op == Opcode::In) {
+            IMAGINE_ASSERT(n.region == Region::Loop,
+                           "kernel %s: stream read outside loop",
+                           g.name.c_str());
+        }
+        if (n.op == Opcode::Acc) {
+            IMAGINE_ASSERT(n.numIn == 2,
+                           "kernel %s: accumulator without accumSet",
+                           g.name.c_str());
+            IMAGINE_ASSERT(g.nodes[n.in[1]].region == Region::Loop,
+                           "kernel %s: accumulator next not in loop",
+                           g.name.c_str());
+        }
+    }
+    for (int s = 0; s < g.numInStreams; ++s) {
+        IMAGINE_ASSERT(g.inRec[s] > 0,
+                       "kernel %s: input stream %d never read",
+                       g.name.c_str(), s);
+    }
+    for (const OrderEdge &e : g.orderEdges) {
+        IMAGINE_ASSERT(e.from < g.nodes.size() && e.to < g.nodes.size(),
+                       "kernel %s: dangling order edge", g.name.c_str());
+    }
+}
+
+} // namespace imagine::kernelc

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * KernelC: the kernel-authoring layer.
+ *
+ * The original Imagine toolchain compiled KernelC source to VLIW
+ * microcode with communication scheduling [Mattson et al.].  Here a
+ * kernel's loop body is captured as a dataflow graph through an embedded
+ * C++ DSL (KernelBuilder); the scheduler in schedule.hh then compiles
+ * the graph to a software-pipelined VLIW schedule.
+ *
+ * A kernel has three regions:
+ *  - Prologue: runs once before the main loop (parameter reads, loop
+ *    invariant setup).
+ *  - Loop: the main loop body; executed trip-count times, eight SIMD
+ *    lanes per iteration.  Stream reads/writes live here.
+ *  - Epilogue: runs once after the loop (reduction results, scalar
+ *    writebacks, final stream writes).
+ */
+
+#ifndef IMAGINE_KERNELC_DFG_HH
+#define IMAGINE_KERNELC_DFG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hh"
+#include "sim/types.hh"
+
+namespace imagine::kernelc
+{
+
+/** Region a node belongs to. */
+enum class Region : uint8_t { Prologue, Loop, Epilogue };
+
+/** Opaque handle to a dataflow value. */
+struct Val
+{
+    uint32_t id = UINT32_MAX;
+    bool valid() const { return id != UINT32_MAX; }
+};
+
+/** One dataflow node. */
+struct Node
+{
+    Opcode op = Opcode::Imm;
+    Region region = Region::Prologue;
+    uint8_t numIn = 0;
+    std::array<uint32_t, 3> in{};   ///< producer node ids
+    Word payload = 0;               ///< immediate value / UCR index
+    uint16_t streamIdx = 0;         ///< for In/Out/OutCond
+    uint16_t elemIdx = 0;           ///< record word slot within iteration
+};
+
+/** Scheduling-only ordering constraint between two loop nodes. */
+struct OrderEdge
+{
+    uint32_t from = 0;
+    uint32_t to = 0;
+    uint8_t latency = 1;    ///< min cycles between issues
+    uint8_t dist = 0;       ///< iteration distance
+};
+
+/** The complete captured kernel graph. */
+struct KernelGraph
+{
+    std::string name;
+    std::vector<Node> nodes;
+    std::vector<OrderEdge> orderEdges;
+    uint16_t numInStreams = 0;
+    uint16_t numOutStreams = 0;
+    /** Words read per loop iteration per lane, per input stream. */
+    std::vector<uint16_t> inRec;
+    /** Words written per loop iteration per lane, per output stream. */
+    std::vector<uint16_t> outRec;
+    /** True if the stream is written by OutCond (data-dependent len). */
+    std::vector<bool> outIsCond;
+    /** Words written per lane by the epilogue, per output stream. */
+    std::vector<uint16_t> outEpilogueWords;
+
+    const Node &node(Val v) const { return nodes[v.id]; }
+};
+
+/**
+ * Embedded DSL for authoring kernels.
+ *
+ * Usage sketch:
+ * @code
+ *   KernelBuilder kb("saxpy");
+ *   Val a = kb.ucr(0);
+ *   kb.beginLoop();
+ *   Val x = kb.read(0), y = kb.read(1);
+ *   kb.write(0, kb.fadd(kb.fmul(a, x), y));
+ *   kb.endLoop();
+ *   KernelGraph g = kb.finish();
+ * @endcode
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name);
+
+    // --- region control ---
+    void beginLoop();
+    void endLoop();
+    /** Finalize, verify, and return the graph. */
+    KernelGraph finish();
+
+    // --- free values ---
+    Val imm(Word w);
+    Val immF(float f) { return imm(floatToWord(f)); }
+    Val immI(int32_t i) { return imm(intToWord(i)); }
+    Val ucr(int index);         ///< scalar kernel parameter
+    Val cid();                  ///< cluster (lane) id, 0..7
+    Val iterIdx();              ///< loop iteration index (loop region)
+
+    // --- streams ---
+    /** Declare input/output streams; returns the stream index. */
+    int addInput();
+    int addOutput(bool conditional = false);
+    /** Read the next record word of input stream @p s (loop only). */
+    Val read(int s);
+    /** Write the next record word of output stream @p s. */
+    void write(int s, Val v);
+    /** Conditionally append @p v to conditional stream @p s. */
+    void writeCond(int s, Val v, Val cond);
+
+    // --- arithmetic (thin wrappers over Opcode) ---
+    Val op1(Opcode o, Val a);
+    Val op2(Opcode o, Val a, Val b);
+    Val op3(Opcode o, Val a, Val b, Val c);
+    Val fadd(Val a, Val b) { return op2(Opcode::Fadd, a, b); }
+    Val fsub(Val a, Val b) { return op2(Opcode::Fsub, a, b); }
+    Val fmul(Val a, Val b) { return op2(Opcode::Fmul, a, b); }
+    Val fdiv(Val a, Val b) { return op2(Opcode::Fdiv, a, b); }
+    Val fsqrt(Val a) { return op1(Opcode::Fsqrt, a); }
+    Val fabs(Val a) { return op1(Opcode::Fabs, a); }
+    Val fneg(Val a) { return op1(Opcode::Fneg, a); }
+    Val fmin(Val a, Val b) { return op2(Opcode::Fmin, a, b); }
+    Val fmax(Val a, Val b) { return op2(Opcode::Fmax, a, b); }
+    Val flt(Val a, Val b) { return op2(Opcode::Flt, a, b); }
+    Val fle(Val a, Val b) { return op2(Opcode::Fle, a, b); }
+    Val ftoi(Val a) { return op1(Opcode::Ftoi, a); }
+    Val itof(Val a) { return op1(Opcode::Itof, a); }
+    Val iadd(Val a, Val b) { return op2(Opcode::Iadd, a, b); }
+    Val isub(Val a, Val b) { return op2(Opcode::Isub, a, b); }
+    Val imul(Val a, Val b) { return op2(Opcode::Imul, a, b); }
+    Val iand(Val a, Val b) { return op2(Opcode::Iand, a, b); }
+    Val ior(Val a, Val b) { return op2(Opcode::Ior, a, b); }
+    Val ixor(Val a, Val b) { return op2(Opcode::Ixor, a, b); }
+    Val shl(Val a, Val b) { return op2(Opcode::Shl, a, b); }
+    Val shr(Val a, Val b) { return op2(Opcode::Shr, a, b); }
+    Val sra(Val a, Val b) { return op2(Opcode::Sra, a, b); }
+    Val ilt(Val a, Val b) { return op2(Opcode::Ilt, a, b); }
+    Val ile(Val a, Val b) { return op2(Opcode::Ile, a, b); }
+    Val ieq(Val a, Val b) { return op2(Opcode::Ieq, a, b); }
+    Val imin(Val a, Val b) { return op2(Opcode::Imin, a, b); }
+    Val imax(Val a, Val b) { return op2(Opcode::Imax, a, b); }
+    Val iabs(Val a) { return op1(Opcode::Iabs, a); }
+    Val select(Val c, Val t, Val f) { return op3(Opcode::Select, c, t, f); }
+
+    // --- scratchpad / communication ---
+    Val spRead(Val addr);
+    void spWrite(Val addr, Val value);
+    /** Receive the value another lane computed: in0 from lane @p src. */
+    Val comm(Val v, Val srcLane);
+
+    // --- loop-carried state ---
+    /** Create an accumulator initialized to @p init (prologue value). */
+    Val accum(Val init);
+    /** Define the accumulator's next-iteration value; call exactly once. */
+    void accumSet(Val acc, Val next);
+
+    // --- epilogue scalar output ---
+    /** Write a kernel result into scalar register @p index (epilogue). */
+    void ucrOut(int index, Val v);
+
+    const KernelGraph &graph() const { return graph_; }
+
+  private:
+    Val addNode(Opcode op, int n, Val a = {}, Val b = {}, Val c = {});
+
+    KernelGraph graph_;
+    Region region_ = Region::Prologue;
+    bool loopClosed_ = false;
+    std::vector<uint32_t> pendingAccs_;     ///< accs awaiting accumSet
+    std::vector<uint32_t> spOpsThisIter_;   ///< for ordering edges
+    /** Per-conditional-stream first/last OutCond nodes (ordering). */
+    std::vector<uint32_t> lastCondOut_;
+    std::vector<uint32_t> firstCondOut_;
+};
+
+/** Structural validation; panics with a description on failure. */
+void verify(const KernelGraph &g);
+
+} // namespace imagine::kernelc
+
+#endif // IMAGINE_KERNELC_DFG_HH

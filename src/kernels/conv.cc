@@ -1,0 +1,154 @@
+#include "kernels/conv.hh"
+
+#include "sim/log.hh"
+
+namespace imagine::kernels
+{
+
+using kernelc::KernelBuilder;
+using kernelc::KernelGraph;
+using kernelc::Val;
+
+namespace
+{
+
+Word
+dup16(int16_t c)
+{
+    auto u = static_cast<uint16_t>(c);
+    return pack16(u, u);
+}
+
+KernelGraph
+convSeparable(const char *name, int taps, const int16_t *cv,
+              const int16_t *ch, int postShift)
+{
+    IMAGINE_ASSERT(taps % 2 == 1 && taps >= 3, "odd tap count required");
+    const int c = taps / 2;             // half-width in columns
+    const int lag = (taps + 1) / 4;     // output lag in words
+
+    KernelBuilder kb(name);
+    std::vector<int> rows(taps);
+    for (int t = 0; t < taps; ++t)
+        rows[t] = kb.addInput();
+    int sout = kb.addOutput();
+    Val sixteen = kb.immI(16);
+
+    kb.beginLoop();
+    // Vertical pass: packed multiply-accumulate down the taps.
+    Val vsum = kb.op2(Opcode::Mul16x2, kb.read(rows[0]),
+                      kb.imm(dup16(cv[0])));
+    for (int t = 1; t < taps; ++t) {
+        Val prod = kb.op2(Opcode::Mul16x2, kb.read(rows[t]),
+                          kb.imm(dup16(cv[t])));
+        vsum = kb.op2(Opcode::Add16x2, vsum, prod);
+    }
+
+    // Word history: hist[j] is the vertical sum j iterations ago.
+    std::vector<Val> hist(static_cast<size_t>(2 * lag) + 1);
+    hist[0] = vsum;
+    for (int j = 1; j <= 2 * lag; ++j) {
+        Val a = kb.accum(kb.imm(0));
+        kb.accumSet(a, hist[j - 1]);
+        hist[j] = a;
+    }
+    // W(m) = vertical-sum word (k + m) where k = i - lag.
+    auto W = [&](int m) -> Val {
+        int j = lag - m;
+        IMAGINE_ASSERT(j >= 0 && j <= 2 * lag, "conv history index");
+        return hist[static_cast<size_t>(j)];
+    };
+    auto comb = [&](Val a, Val b) {
+        // Column pair straddling a word boundary: (hi of a, lo of b).
+        return kb.ior(kb.shr(a, sixteen), kb.shl(b, sixteen));
+    };
+
+    // Horizontal pass over shifted column pairs.
+    Val out{};
+    for (int t = -c; t <= c; ++t) {
+        Val pair = (t % 2 == 0) ? W(t / 2)
+                                : comb(W((t - 1) / 2), W((t - 1) / 2 + 1));
+        Val prod = kb.op2(Opcode::Mul16x2, pair, kb.imm(dup16(ch[t + c])));
+        out = (t == -c) ? prod : kb.op2(Opcode::Add16x2, out, prod);
+    }
+    if (postShift > 0)
+        out = kb.op2(Opcode::Shr16x2, out, kb.immI(postShift));
+    kb.write(sout, out);
+    kb.endLoop();
+    return kb.finish();
+}
+
+} // namespace
+
+KernelGraph
+conv7x7(const std::array<int16_t, 7> &cv, const std::array<int16_t, 7> &ch,
+        int postShift)
+{
+    return convSeparable("conv7x7", 7, cv.data(), ch.data(), postShift);
+}
+
+KernelGraph
+conv3x3(const std::array<int16_t, 3> &cv, const std::array<int16_t, 3> &ch,
+        int postShift)
+{
+    return convSeparable("conv3x3", 3, cv.data(), ch.data(), postShift);
+}
+
+std::vector<Word>
+convSeparableGoldenStrip(const std::vector<std::vector<Word>> &rows,
+                         const std::vector<int16_t> &cv,
+                         const std::vector<int16_t> &ch, int postShift)
+{
+    const int taps = static_cast<int>(cv.size());
+    const int c = taps / 2;
+    const int lag = (taps + 1) / 4;
+    const auto n = static_cast<int64_t>(rows[0].size());
+
+    auto mul16 = [](Word a, Word b) {
+        Word in[3] = {a, b, 0};
+        return evalArith(Opcode::Mul16x2, in);
+    };
+    auto add16 = [](Word a, Word b) {
+        Word in[3] = {a, b, 0};
+        return evalArith(Opcode::Add16x2, in);
+    };
+
+    std::vector<Word> vsum(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+        Word acc = mul16(rows[0][static_cast<size_t>(i)], dup16(cv[0]));
+        for (int t = 1; t < taps; ++t) {
+            acc = add16(acc, mul16(rows[static_cast<size_t>(t)]
+                                       [static_cast<size_t>(i)],
+                                   dup16(cv[t])));
+        }
+        vsum[static_cast<size_t>(i)] = acc;
+    }
+
+    auto W = [&](int64_t m) -> Word {
+        return (m < 0 || m >= n) ? 0u : vsum[static_cast<size_t>(m)];
+    };
+    std::vector<Word> out(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t k = i - lag;
+        Word acc = 0;
+        for (int t = -c; t <= c; ++t) {
+            Word pair;
+            if (t % 2 == 0) {
+                pair = W(k + t / 2);
+            } else {
+                int64_t m = k + (t - 1) / 2;
+                pair = (W(m) >> 16) | (W(m + 1) << 16);
+            }
+            Word prod = mul16(pair, dup16(ch[t + c]));
+            acc = (t == -c) ? prod : add16(acc, prod);
+        }
+        if (postShift > 0) {
+            Word in[3] = {acc, static_cast<Word>(postShift), 0};
+            acc = evalArith(Opcode::Shr16x2, in);
+        }
+        out[static_cast<size_t>(i)] = acc;
+    }
+    return out;
+}
+
+} // namespace imagine::kernels

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Separable 2-D convolution kernels over 16-bit pixels (conv7x7 and
+ * conv3x3 from the stereo depth extractor, Table 2).
+ *
+ * Data layout: images are stored strip-interleaved.  Each cluster owns
+ * a vertical strip of the image; stream element (i*8 + lane) is word i
+ * of lane's strip, each word packing two 16-bit pixels (columns 2i and
+ * 2i+1 of the strip).  The kernel takes one input stream per filter row
+ * (the same strip of `taps` consecutive image rows) and produces the
+ * convolved center row.
+ *
+ * The vertical pass is a packed multiply-accumulate over the taps; the
+ * horizontal pass keeps a four-word history of vertical sums in
+ * loop-carried accumulators and assembles shifted column pairs with
+ * shift/or ops, so the output lags the input by (taps-1)/2 words:
+ * out[i] = hconv(vsum[i - lag]), with vsum[<0] = 0.  Strips are
+ * convolved independently (zero boundary between strips), matching the
+ * golden model exactly - including 16-bit wraparound arithmetic.
+ */
+
+#ifndef IMAGINE_KERNELS_CONV_HH
+#define IMAGINE_KERNELS_CONV_HH
+
+#include <array>
+#include <vector>
+
+#include "kernelc/dfg.hh"
+
+namespace imagine::kernels
+{
+
+/**
+ * Separable 7x7: vertical taps @p cv, horizontal taps @p ch; the final
+ * packed sums are logically shifted right by @p postShift per half to
+ * renormalize the filter gain.
+ */
+kernelc::KernelGraph conv7x7(const std::array<int16_t, 7> &cv,
+                             const std::array<int16_t, 7> &ch,
+                             int postShift = 0);
+
+/** Separable 3x3. */
+kernelc::KernelGraph conv3x3(const std::array<int16_t, 3> &cv,
+                             const std::array<int16_t, 3> &ch,
+                             int postShift = 0);
+
+/**
+ * Golden model for one strip (one lane's data).
+ *
+ * @param rows per-tap input words (rows[t][i] = word i of tap t's row)
+ * @param cv vertical taps, @p ch horizontal taps (same length)
+ * @param postShift per-half logical right shift applied to the result
+ * @return the output words the kernel produces for this lane
+ */
+std::vector<Word>
+convSeparableGoldenStrip(const std::vector<std::vector<Word>> &rows,
+                         const std::vector<int16_t> &cv,
+                         const std::vector<int16_t> &ch,
+                         int postShift = 0);
+
+} // namespace imagine::kernels
+
+#endif // IMAGINE_KERNELS_CONV_HH

@@ -1,0 +1,483 @@
+#include "kernels/dct.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace imagine::kernels
+{
+
+using kernelc::KernelBuilder;
+using kernelc::KernelGraph;
+using kernelc::Val;
+
+const std::array<std::array<int16_t, 8>, 8> &
+dctCoeffs()
+{
+    static const auto table = [] {
+        std::array<std::array<int16_t, 8>, 8> c{};
+        for (int k = 0; k < 8; ++k) {
+            double s = (k == 0) ? std::sqrt(1.0 / 8.0)
+                                : std::sqrt(2.0 / 8.0);
+            for (int j = 0; j < 8; ++j) {
+                double v = s * std::cos((2 * j + 1) * k * M_PI / 16.0);
+                c[k][j] = static_cast<int16_t>(std::lround(v * 128.0));
+            }
+        }
+        return c;
+    }();
+    return table;
+}
+
+const std::array<int, 64> &
+quantShifts()
+{
+    static const auto table = [] {
+        std::array<int, 64> s{};
+        for (int r = 0; r < 8; ++r)
+            for (int c = 0; c < 8; ++c)
+                s[r * 8 + c] = 1 + std::min(5, (r + c) / 2);
+        return s;
+    }();
+    return table;
+}
+
+const std::array<int, 64> &
+zigzagOrder()
+{
+    static const auto table = [] {
+        std::array<int, 64> z{};
+        int r = 0, c = 0;
+        for (int i = 0; i < 64; ++i) {
+            z[i] = r * 8 + c;
+            if ((r + c) % 2 == 0) {     // moving up-right
+                if (c == 7) ++r;
+                else if (r == 0) ++c;
+                else { --r; ++c; }
+            } else {                    // moving down-left
+                if (r == 7) ++c;
+                else if (c == 0) ++r;
+                else { ++r; --c; }
+            }
+        }
+        return z;
+    }();
+    return table;
+}
+
+namespace
+{
+
+Word
+coefPair(int16_t hi, int16_t lo)
+{
+    return pack16(static_cast<uint16_t>(hi), static_cast<uint16_t>(lo));
+}
+
+int16_t
+coef(bool inverse, int k, int j)
+{
+    return inverse ? dctCoeffs()[j][k] : dctCoeffs()[k][j];
+}
+
+KernelGraph
+buildDct(const char *name, bool inverse)
+{
+    KernelBuilder kb(name);
+    int sin = kb.addInput();
+    int sout = kb.addOutput();
+    Val sixteen = kb.immI(16);
+    Val seven = kb.immI(7);
+    Val mask = kb.imm(0xffffu);
+
+    kb.beginLoop();
+    Val b[32];
+    for (auto &w : b)
+        w = kb.read(sin);
+
+    // Row pass: y[r][k] = (sum_j b[r][j] * C[k][j]) >> 7.
+    Val y[8][8];
+    for (int r = 0; r < 8; ++r) {
+        for (int k = 0; k < 8; ++k) {
+            Val acc{};
+            for (int m = 0; m < 4; ++m) {
+                Val d = kb.op2(Opcode::Dot16x2, b[r * 4 + m],
+                               kb.imm(coefPair(coef(inverse, k, 2 * m + 1),
+                                               coef(inverse, k, 2 * m))));
+                acc = (m == 0) ? d : kb.iadd(acc, d);
+            }
+            y[r][k] = kb.sra(acc, seven);
+        }
+    }
+
+    // Re-pack row results into column pair words.
+    Val pk[8][4];
+    for (int c = 0; c < 8; ++c) {
+        for (int t = 0; t < 4; ++t) {
+            pk[c][t] = kb.ior(kb.shl(y[2 * t + 1][c], sixteen),
+                              kb.iand(y[2 * t][c], mask));
+        }
+    }
+
+    // Column pass: z[k][c] = (sum_r y[r][c] * C[k][r]) >> 7.
+    Val z[8][8];
+    for (int c = 0; c < 8; ++c) {
+        for (int k = 0; k < 8; ++k) {
+            Val acc{};
+            for (int t = 0; t < 4; ++t) {
+                Val d = kb.op2(Opcode::Dot16x2, pk[c][t],
+                               kb.imm(coefPair(coef(inverse, k, 2 * t + 1),
+                                               coef(inverse, k, 2 * t))));
+                acc = (t == 0) ? d : kb.iadd(acc, d);
+            }
+            z[k][c] = kb.sra(acc, seven);
+        }
+    }
+
+    for (int k = 0; k < 8; ++k) {
+        for (int m = 0; m < 4; ++m) {
+            kb.write(sout, kb.ior(kb.shl(z[k][2 * m + 1], sixteen),
+                                  kb.iand(z[k][2 * m], mask)));
+        }
+    }
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+goldenDct(const std::vector<Word> &blocks, bool inverse)
+{
+    IMAGINE_ASSERT(blocks.size() % 32 == 0, "rec-32 block stream");
+    std::vector<Word> out(blocks.size());
+    auto half = [](Word w, int h) {
+        return static_cast<int32_t>(
+            static_cast<int16_t>(h ? (w >> 16) : (w & 0xffff)));
+    };
+    for (size_t base = 0; base < blocks.size(); base += 32) {
+        int32_t y[8][8];
+        for (int r = 0; r < 8; ++r) {
+            for (int k = 0; k < 8; ++k) {
+                int32_t acc = 0;
+                for (int j = 0; j < 8; ++j) {
+                    acc += half(blocks[base + r * 4 + j / 2], j % 2) *
+                           coef(inverse, k, j);
+                }
+                y[r][k] = acc >> 7;
+            }
+        }
+        for (int c = 0; c < 8; ++c) {
+            for (int k = 0; k < 8; ++k) {
+                int32_t acc = 0;
+                for (int r = 0; r < 8; ++r) {
+                    acc += static_cast<int32_t>(
+                               static_cast<int16_t>(y[r][c] & 0xffff)) *
+                           coef(inverse, k, r);
+                }
+                int32_t zv = acc >> 7;
+                Word &w = out[base + k * 4 + c / 2];
+                if (c % 2)
+                    w = (w & 0xffffu) |
+                        (static_cast<Word>(zv) << 16);
+                else
+                    w = (w & 0xffff0000u) |
+                        (static_cast<Word>(zv) & 0xffffu);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+KernelGraph dct8x8() { return buildDct("dct8x8", false); }
+KernelGraph idct8x8() { return buildDct("idct8x8", true); }
+
+std::vector<Word>
+dct8x8Golden(const std::vector<Word> &blocks)
+{
+    return goldenDct(blocks, false);
+}
+
+std::vector<Word>
+idct8x8Golden(const std::vector<Word> &blocks)
+{
+    return goldenDct(blocks, true);
+}
+
+namespace
+{
+
+KernelGraph
+buildQuant(const char *name, bool inverse)
+{
+    KernelBuilder kb(name);
+    int sin = kb.addInput();
+    int sout = kb.addOutput();
+    Val sixteen = kb.immI(16);
+    Val mask = kb.imm(0xffffu);
+
+    kb.beginLoop();
+    for (int m = 0; m < 32; ++m) {
+        Val w = kb.read(sin);
+        Val lo = kb.sra(kb.shl(w, sixteen), sixteen);
+        Val hi = kb.sra(w, sixteen);
+        Val shLo = kb.immI(quantShifts()[2 * m]);
+        Val shHi = kb.immI(quantShifts()[2 * m + 1]);
+        Val qlo = inverse ? kb.shl(lo, shLo) : kb.sra(lo, shLo);
+        Val qhi = inverse ? kb.shl(hi, shHi) : kb.sra(hi, shHi);
+        kb.write(sout, kb.ior(kb.shl(qhi, sixteen), kb.iand(qlo, mask)));
+    }
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+goldenQuant(const std::vector<Word> &blocks, bool inverse)
+{
+    std::vector<Word> out(blocks.size());
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        int m = static_cast<int>(i % 32);
+        auto lo = static_cast<int32_t>(
+            static_cast<int16_t>(blocks[i] & 0xffff));
+        auto hi = static_cast<int32_t>(
+            static_cast<int16_t>(blocks[i] >> 16));
+        int sLo = quantShifts()[2 * m];
+        int sHi = quantShifts()[2 * m + 1];
+        int32_t qlo = inverse ? (lo << sLo) : (lo >> sLo);
+        int32_t qhi = inverse ? (hi << sHi) : (hi >> sHi);
+        out[i] = (static_cast<Word>(qhi) << 16) |
+                 (static_cast<Word>(qlo) & 0xffffu);
+    }
+    return out;
+}
+
+} // namespace
+
+KernelGraph quantize() { return buildQuant("quantize", false); }
+KernelGraph dequantize() { return buildQuant("dequantize", true); }
+
+std::vector<Word>
+quantizeGolden(const std::vector<Word> &blocks)
+{
+    return goldenQuant(blocks, false);
+}
+
+std::vector<Word>
+dequantizeGolden(const std::vector<Word> &blocks)
+{
+    return goldenQuant(blocks, true);
+}
+
+KernelGraph
+zigzag()
+{
+    KernelBuilder kb("zigzag");
+    int sin = kb.addInput();
+    int sout = kb.addOutput();
+    Val sixteen = kb.immI(16);
+    Val mask = kb.imm(0xffffu);
+
+    kb.beginLoop();
+    Val b[32];
+    for (int m = 0; m < 32; ++m)
+        b[m] = kb.read(sin);
+    for (int m = 0; m < 32; ++m)
+        kb.spWrite(kb.immI(m), b[m]);
+    for (int zi = 0; zi < 64; ++zi) {
+        int idx = zigzagOrder()[zi];
+        Val w = kb.spRead(kb.immI(idx / 2));
+        Val coeff = (idx % 2) ? kb.shr(w, sixteen) : kb.iand(w, mask);
+        kb.write(sout, coeff);
+    }
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+zigzagGolden(const std::vector<Word> &blocks)
+{
+    std::vector<Word> out(blocks.size() * 2);
+    size_t nblocks = blocks.size() / 32;
+    for (size_t blk = 0; blk < nblocks; ++blk) {
+        for (int zi = 0; zi < 64; ++zi) {
+            int idx = zigzagOrder()[zi];
+            Word w = blocks[blk * 32 + static_cast<size_t>(idx / 2)];
+            out[blk * 64 + static_cast<size_t>(zi)] =
+                (idx % 2) ? (w >> 16) : (w & 0xffffu);
+        }
+    }
+    return out;
+}
+
+KernelGraph
+colorConv()
+{
+    KernelBuilder kb("colorconv");
+    int sin = kb.addInput();
+    int sout = kb.addOutput();
+    Val sixteen = kb.immI(16);
+    Val mask = kb.imm(0xffffu);
+
+    kb.beginLoop();
+    Val r = kb.read(sin);
+    Val g = kb.read(sin);
+    Val b = kb.read(sin);
+    Val y[2];
+    for (int h = 0; h < 2; ++h) {
+        Val rr = h ? kb.shr(r, sixteen) : kb.iand(r, mask);
+        Val gg = h ? kb.shr(g, sixteen) : kb.iand(g, mask);
+        Val bb = h ? kb.shr(b, sixteen) : kb.iand(b, mask);
+        Val sum = kb.iadd(
+            kb.iadd(kb.imul(rr, kb.immI(66)), kb.imul(gg, kb.immI(129))),
+            kb.iadd(kb.imul(bb, kb.immI(25)), kb.immI(128)));
+        y[h] = kb.shr(sum, kb.immI(8));
+    }
+    kb.write(sout, kb.ior(kb.shl(y[1], sixteen), y[0]));
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+colorConvGolden(const std::vector<Word> &rgb)
+{
+    IMAGINE_ASSERT(rgb.size() % 3 == 0, "rec-3 rgb stream");
+    std::vector<Word> out(rgb.size() / 3);
+    for (size_t i = 0; i < out.size(); ++i) {
+        Word r = rgb[3 * i], g = rgb[3 * i + 1], b = rgb[3 * i + 2];
+        uint32_t y[2];
+        for (int h = 0; h < 2; ++h) {
+            uint32_t rr = h ? (r >> 16) : (r & 0xffff);
+            uint32_t gg = h ? (g >> 16) : (g & 0xffff);
+            uint32_t bb = h ? (b >> 16) : (b & 0xffff);
+            y[h] = (66 * rr + 129 * gg + 25 * bb + 128) >> 8;
+        }
+        out[i] = (y[1] << 16) | y[0];
+    }
+    return out;
+}
+
+KernelGraph
+addClamp()
+{
+    KernelBuilder kb("addclamp");
+    int sin = kb.addInput();
+    int sout = kb.addOutput();
+    kb.beginLoop();
+    Val w = kb.read(sin);
+    Val shifted = kb.op2(Opcode::Add16x2, w, kb.imm(pack16(128, 128)));
+    Val lo = kb.op2(Opcode::Max16x2, shifted, kb.imm(0));
+    kb.write(sout, kb.op2(Opcode::Min16x2, lo, kb.imm(pack16(255, 255))));
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+addClampGolden(const std::vector<Word> &in)
+{
+    std::vector<Word> out(in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+        Word tmp[3] = {in[i], pack16(128, 128), 0};
+        Word s = evalArith(Opcode::Add16x2, tmp);
+        Word tmp2[3] = {s, 0, 0};
+        s = evalArith(Opcode::Max16x2, tmp2);
+        Word tmp3[3] = {s, pack16(255, 255), 0};
+        out[i] = evalArith(Opcode::Min16x2, tmp3);
+    }
+    return out;
+}
+
+KernelGraph
+pixSub()
+{
+    KernelBuilder kb("pixsub");
+    int sa = kb.addInput();
+    int sb = kb.addInput();
+    int so = kb.addOutput();
+    kb.beginLoop();
+    kb.write(so, kb.op2(Opcode::Sub16x2, kb.read(sa), kb.read(sb)));
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+pixSubGolden(const std::vector<Word> &a, const std::vector<Word> &b)
+{
+    std::vector<Word> out(a.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        Word in[3] = {a[i], b[i], 0};
+        out[i] = evalArith(Opcode::Sub16x2, in);
+    }
+    return out;
+}
+
+KernelGraph
+pixAddClamp()
+{
+    KernelBuilder kb("pixaddclamp");
+    int sa = kb.addInput();
+    int sb = kb.addInput();
+    int so = kb.addOutput();
+    kb.beginLoop();
+    Val sum = kb.op2(Opcode::Add16x2, kb.read(sa), kb.read(sb));
+    Val lo = kb.op2(Opcode::Max16x2, sum, kb.imm(0));
+    kb.write(so, kb.op2(Opcode::Min16x2, lo, kb.imm(pack16(255, 255))));
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+pixAddClampGolden(const std::vector<Word> &a, const std::vector<Word> &b)
+{
+    std::vector<Word> out(a.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        Word in[3] = {a[i], b[i], 0};
+        Word s = evalArith(Opcode::Add16x2, in);
+        Word in2[3] = {s, 0, 0};
+        s = evalArith(Opcode::Max16x2, in2);
+        Word in3[3] = {s, pack16(255, 255), 0};
+        out[i] = evalArith(Opcode::Min16x2, in3);
+    }
+    return out;
+}
+
+KernelGraph
+mcIndex()
+{
+    KernelBuilder kb("mcindex");
+    Val off[8];
+    for (int k = 0; k < 8; ++k)
+        off[k] = kb.ucr(4 + k);
+    int sBest = kb.addInput();
+    int sOut = kb.addOutput();
+    kb.beginLoop();
+    kb.read(sBest);             // SAD, unused here
+    Val idx = kb.read(sBest);
+    Val pick = off[0];
+    for (int k = 1; k < 8; ++k)
+        pick = kb.select(kb.ieq(idx, kb.immI(k)), off[k], pick);
+    // Block index = iter*8 + lane; each block is 32 words.
+    Val block = kb.iadd(kb.imul(kb.iterIdx(), kb.immI(numClusters)),
+                        kb.cid());
+    kb.write(sOut, kb.iadd(pick, kb.shl(block, kb.immI(5))));
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+mcIndexGolden(const std::vector<Word> &best,
+              const std::vector<Word> &candOffsets)
+{
+    std::vector<Word> out(best.size() / 2);
+    for (size_t b = 0; b < out.size(); ++b) {
+        uint32_t idx = best[2 * b + 1];
+        Word pick = candOffsets[idx < candOffsets.size() ? idx : 0];
+        // Mirror the kernel's select chain: out-of-range indices fall
+        // back to candidate 0.
+        if (idx >= candOffsets.size())
+            pick = candOffsets[0];
+        out[b] = pick + static_cast<Word>(b) * 32;
+    }
+    return out;
+}
+
+} // namespace imagine::kernels

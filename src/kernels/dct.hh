@@ -1,0 +1,86 @@
+/**
+ * @file
+ * MPEG pixel-pipeline kernels: 2-D DCT / IDCT on 8x8 16-bit blocks
+ * (Table 2's "2D DCT"), quantization, zigzag reordering, color
+ * conversion and reconstruction clamping.
+ *
+ * Block layout: each lane processes one whole 8x8 block per loop
+ * iteration, stored as 32 words (row-major, two 16-bit pixels per
+ * word).  Fixed-point arithmetic uses Q7 cosine coefficients with
+ * packed 16-bit dot products accumulating in 32 bits, so the golden
+ * models are bit-exact.
+ */
+
+#ifndef IMAGINE_KERNELS_DCT_HH
+#define IMAGINE_KERNELS_DCT_HH
+
+#include <array>
+#include <vector>
+
+#include "kernelc/dfg.hh"
+
+namespace imagine::kernels
+{
+
+/** Q7 8-point DCT-II coefficient matrix C[k][j]. */
+const std::array<std::array<int16_t, 8>, 8> &dctCoeffs();
+
+/** Power-of-two quantizer shifts per block position (row-major). */
+const std::array<int, 64> &quantShifts();
+
+/** Zigzag scan order: zigzagOrder()[z] = row-major index. */
+const std::array<int, 64> &zigzagOrder();
+
+/** Forward 2-D DCT (in rec 32, out rec 32). */
+kernelc::KernelGraph dct8x8();
+/** Inverse 2-D DCT (in rec 32, out rec 32). */
+kernelc::KernelGraph idct8x8();
+/** Golden models, bit-exact. */
+std::vector<Word> dct8x8Golden(const std::vector<Word> &blocks);
+std::vector<Word> idct8x8Golden(const std::vector<Word> &blocks);
+
+/** Quantize (arithmetic shift per coefficient position; rec 32). */
+kernelc::KernelGraph quantize();
+/** Dequantize (inverse shifts; rec 32). */
+kernelc::KernelGraph dequantize();
+std::vector<Word> quantizeGolden(const std::vector<Word> &blocks);
+std::vector<Word> dequantizeGolden(const std::vector<Word> &blocks);
+
+/**
+ * Zigzag reorder through the scratchpad: in rec 32 (packed block),
+ * out rec 64 (one coefficient word per position, zigzag order).
+ */
+kernelc::KernelGraph zigzag();
+std::vector<Word> zigzagGolden(const std::vector<Word> &blocks);
+
+/** RGB -> luma conversion: in rec 3 (r, g, b packed pairs), out rec 1. */
+kernelc::KernelGraph colorConv();
+std::vector<Word> colorConvGolden(const std::vector<Word> &rgb);
+
+/** Reconstruction: add 128 and clamp to [0, 255] per 16-bit half. */
+kernelc::KernelGraph addClamp();
+std::vector<Word> addClampGolden(const std::vector<Word> &in);
+
+/** Packed pixel difference: out = a - b per 16-bit half (rec 1). */
+kernelc::KernelGraph pixSub();
+std::vector<Word> pixSubGolden(const std::vector<Word> &a,
+                               const std::vector<Word> &b);
+
+/** Packed reconstruction: out = clamp(a + b, 0, 255) per half. */
+kernelc::KernelGraph pixAddClamp();
+std::vector<Word> pixAddClampGolden(const std::vector<Word> &a,
+                                    const std::vector<Word> &b);
+
+/**
+ * Motion-compensation index generation: reads best (SAD, index)
+ * records and emits the word offset of the chosen candidate block.
+ * UCRs 4..11 hold the per-candidate base offsets; the block's own
+ * offset (32 words per block) is added.
+ */
+kernelc::KernelGraph mcIndex();
+std::vector<Word> mcIndexGolden(const std::vector<Word> &best,
+                                const std::vector<Word> &candOffsets);
+
+} // namespace imagine::kernels
+
+#endif // IMAGINE_KERNELS_DCT_HH

@@ -1,0 +1,95 @@
+#include "kernels/gromacs.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace imagine::kernels
+{
+
+using kernelc::KernelBuilder;
+using kernelc::KernelGraph;
+using kernelc::Val;
+
+KernelGraph
+gromacsForce()
+{
+    KernelBuilder kb("gromacs");
+    Val c12 = kb.ucr(0);
+    Val c6 = kb.ucr(1);
+    Val c12x12 = kb.ucr(2);
+    Val c6x6 = kb.ucr(3);
+    int sin = kb.addInput();
+    int sout = kb.addOutput();
+
+    kb.beginLoop();
+    Val x1 = kb.read(sin), y1 = kb.read(sin), z1 = kb.read(sin);
+    Val q1 = kb.read(sin);
+    Val x2 = kb.read(sin), y2 = kb.read(sin), z2 = kb.read(sin);
+    Val q2 = kb.read(sin);
+
+    Val dx = kb.fsub(x1, x2);
+    Val dy = kb.fsub(y1, y2);
+    Val dz = kb.fsub(z1, z2);
+    Val r2 = kb.fadd(kb.fadd(kb.fmul(dx, dx), kb.fmul(dy, dy)),
+                     kb.fmul(dz, dz));
+    Val r = kb.fsqrt(r2);
+    Val rinv = kb.fdiv(kb.immF(1.0f), r);
+    Val rinv2 = kb.fmul(rinv, rinv);
+    Val rinv6 = kb.fmul(kb.fmul(rinv2, rinv2), rinv2);
+    Val rinv12 = kb.fmul(rinv6, rinv6);
+
+    Val qq = kb.fmul(q1, q2);
+    Val ecoul = kb.fmul(qq, rinv);
+    Val elj = kb.fsub(kb.fmul(c12, rinv12), kb.fmul(c6, rinv6));
+    Val energy = kb.fadd(elj, ecoul);
+
+    Val fscale = kb.fmul(
+        kb.fadd(kb.fsub(kb.fmul(c12x12, rinv12), kb.fmul(c6x6, rinv6)),
+                ecoul),
+        rinv2);
+    kb.write(sout, kb.fmul(dx, fscale));
+    kb.write(sout, kb.fmul(dy, fscale));
+    kb.write(sout, kb.fmul(dz, fscale));
+    kb.write(sout, energy);
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+gromacsForceGolden(const std::vector<Word> &pairs, float c12, float c6)
+{
+    IMAGINE_ASSERT(pairs.size() % 8 == 0, "rec-8 pair stream");
+    std::vector<Word> out;
+    out.reserve(pairs.size() / 2);
+    float c12x12 = 12.0f * c12;
+    float c6x6 = 6.0f * c6;
+    for (size_t i = 0; i < pairs.size(); i += 8) {
+        float x1 = wordToFloat(pairs[i]), y1 = wordToFloat(pairs[i + 1]);
+        float z1 = wordToFloat(pairs[i + 2]);
+        float q1 = wordToFloat(pairs[i + 3]);
+        float x2 = wordToFloat(pairs[i + 4]);
+        float y2 = wordToFloat(pairs[i + 5]);
+        float z2 = wordToFloat(pairs[i + 6]);
+        float q2 = wordToFloat(pairs[i + 7]);
+        float dx = x1 - x2, dy = y1 - y2, dz = z1 - z2;
+        float r2 = (dx * dx + dy * dy) + dz * dz;
+        float r = std::sqrt(r2);
+        float rinv = 1.0f / r;
+        float rinv2 = rinv * rinv;
+        float rinv6 = (rinv2 * rinv2) * rinv2;
+        float rinv12 = rinv6 * rinv6;
+        float qq = q1 * q2;
+        float ecoul = qq * rinv;
+        float elj = c12 * rinv12 - c6 * rinv6;
+        float energy = elj + ecoul;
+        float fscale = ((c12x12 * rinv12 - c6x6 * rinv6) + ecoul) * rinv2;
+        out.push_back(floatToWord(dx * fscale));
+        out.push_back(floatToWord(dy * fscale));
+        out.push_back(floatToWord(dz * fscale));
+        out.push_back(floatToWord(energy));
+    }
+    return out;
+}
+
+} // namespace imagine::kernels

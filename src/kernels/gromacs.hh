@@ -1,0 +1,33 @@
+/**
+ * @file
+ * GROMACS-style nonbonded force kernel (Table 2): Lennard-Jones plus
+ * Coulomb interaction between particle pairs.  Each record holds two
+ * particles (position + charge); the kernel computes the pair force
+ * vector and interaction energy.  The 1/r and sqrt operations keep the
+ * non-pipelined divide/square-root unit saturated - the paper singles
+ * GROMACS out as DSQ-limited.
+ *
+ * UCR parameters: 0 = C12, 1 = C6, 2 = 12*C12, 3 = 6*C6.
+ */
+
+#ifndef IMAGINE_KERNELS_GROMACS_HH
+#define IMAGINE_KERNELS_GROMACS_HH
+
+#include <vector>
+
+#include "kernelc/dfg.hh"
+
+namespace imagine::kernels
+{
+
+/** Pair-force kernel: in rec 8 (x1,y1,z1,q1,x2,y2,z2,q2), out rec 4
+ *  (fx,fy,fz,energy). */
+kernelc::KernelGraph gromacsForce();
+
+/** Golden model (identical operation order; bit-exact). */
+std::vector<Word> gromacsForceGolden(const std::vector<Word> &pairs,
+                                     float c12, float c6);
+
+} // namespace imagine::kernels
+
+#endif // IMAGINE_KERNELS_GROMACS_HH

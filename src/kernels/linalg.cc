@@ -1,0 +1,231 @@
+#include "kernels/linalg.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace imagine::kernels
+{
+
+using kernelc::KernelBuilder;
+using kernelc::KernelGraph;
+using kernelc::Val;
+
+namespace
+{
+
+/** Butterfly reduction across the eight lanes. */
+Val
+laneSum(KernelBuilder &kb, Val cid, Val v)
+{
+    for (int hop = 1; hop < numClusters; hop <<= 1)
+        v = kb.fadd(v, kb.comm(v, kb.ixor(cid, kb.immI(hop))));
+    return v;
+}
+
+} // namespace
+
+KernelGraph
+house()
+{
+    KernelBuilder kb("house");
+    Val cid = kb.cid();
+    int sx = kb.addInput();
+
+    kb.beginLoop();
+    Val x[4];
+    for (auto &v : x)
+        v = kb.read(sx);
+    Val ss[4];
+    for (int k = 0; k < 4; ++k) {
+        ss[k] = kb.accum(kb.immF(0.0f));
+        kb.accumSet(ss[k], kb.fadd(ss[k], kb.fmul(x[k], x[k])));
+    }
+    // Capture the very first element (lane 0, slot 0, iteration 0).
+    Val isFirst = kb.ieq(kb.iterIdx(), kb.immI(0));
+    Val fa = kb.accum(kb.immF(0.0f));
+    kb.accumSet(fa, kb.select(isFirst, x[0], fa));
+    kb.endLoop();
+
+    Val tot = kb.fadd(kb.fadd(ss[0], ss[1]), kb.fadd(ss[2], ss[3]));
+    tot = laneSum(kb, cid, tot);
+    Val alpha = kb.comm(fa, kb.immI(0));
+    Val norm = kb.fsqrt(tot);
+    Val sign = kb.select(kb.fle(kb.immF(0.0f), alpha), kb.immF(1.0f),
+                         kb.immF(-1.0f));
+    Val beta = kb.fneg(kb.fmul(sign, norm));
+    Val tau = kb.fdiv(kb.fsub(beta, alpha), beta);
+    Val vdenom = kb.fsub(alpha, beta);
+    kb.ucrOut(ucrTau, tau);
+    kb.ucrOut(ucrVdenom, vdenom);
+    kb.ucrOut(ucrBeta, beta);
+    return kb.finish();
+}
+
+HouseResult
+houseGolden(const std::vector<float> &x)
+{
+    IMAGINE_ASSERT(x.size() % 32 == 0, "house stream is rec-4 SIMD");
+    // Per-lane, per-slot partial sums in stream order, then the exact
+    // slot-pair and butterfly reduction order the kernel uses.
+    float ss[numClusters][4] = {};
+    size_t records = x.size() / 4;
+    for (size_t r = 0; r < records; ++r) {
+        auto lane = static_cast<int>(r % numClusters);
+        for (int k = 0; k < 4; ++k) {
+            float v = x[r * 4 + static_cast<size_t>(k)];
+            ss[lane][k] += v * v;
+        }
+    }
+    float t[numClusters];
+    for (int l = 0; l < numClusters; ++l)
+        t[l] = (ss[l][0] + ss[l][1]) + (ss[l][2] + ss[l][3]);
+    for (int hop = 1; hop < numClusters; hop <<= 1) {
+        float next[numClusters];
+        for (int l = 0; l < numClusters; ++l)
+            next[l] = t[l] + t[l ^ hop];
+        for (int l = 0; l < numClusters; ++l)
+            t[l] = next[l];
+    }
+    float alpha = x[0];
+    float norm = std::sqrt(t[0]);
+    float sign = (0.0f <= alpha) ? 1.0f : -1.0f;
+    float beta = -(sign * norm);
+    HouseResult hr;
+    hr.tau = (beta - alpha) / beta;
+    hr.vdenom = alpha - beta;
+    hr.beta = beta;
+    return hr;
+}
+
+KernelGraph
+houseApply()
+{
+    KernelBuilder kb("houseapply");
+    Val cid = kb.cid();
+    Val w = kb.fdiv(kb.immF(1.0f), kb.ucr(ucrVdenom));
+    Val lane0 = kb.ieq(cid, kb.immI(0));
+    int sx = kb.addInput();
+    int sv = kb.addOutput();
+
+    kb.beginLoop();
+    Val isFirst = kb.ieq(kb.iterIdx(), kb.immI(0));
+    Val head = kb.iand(isFirst, lane0);
+    for (int k = 0; k < 4; ++k) {
+        Val x = kb.read(sx);
+        Val scaled = kb.fmul(x, w);
+        kb.write(sv, k == 0 ? kb.select(head, kb.immF(1.0f), scaled)
+                            : scaled);
+    }
+    kb.endLoop();
+    return kb.finish();
+}
+
+KernelGraph
+panelDot()
+{
+    KernelBuilder kb("update2dot");
+    Val cid = kb.cid();
+    int sv = kb.addInput();
+    int sa = kb.addInput();
+
+    kb.beginLoop();
+    Val v = kb.read(sv);
+    Val acc[8];
+    for (int k = 0; k < 8; ++k) {
+        Val a = kb.read(sa);
+        acc[k] = kb.accum(kb.immF(0.0f));
+        kb.accumSet(acc[k], kb.fadd(acc[k], kb.fmul(v, a)));
+    }
+    kb.endLoop();
+    for (int k = 0; k < 8; ++k)
+        kb.ucrOut(ucrDotBase + k, laneSum(kb, cid, acc[k]));
+    return kb.finish();
+}
+
+KernelGraph
+panelAxpy()
+{
+    KernelBuilder kb("update2tau");
+    Val tau = kb.ucr(ucrTau);
+    Val s[8];
+    for (int k = 0; k < 8; ++k)
+        s[k] = kb.fmul(tau, kb.ucr(ucrDotBase + k));
+    int sv = kb.addInput();
+    int sa = kb.addInput();
+    int so = kb.addOutput();
+
+    kb.beginLoop();
+    Val v = kb.read(sv);
+    for (int k = 0; k < 8; ++k) {
+        Val a = kb.read(sa);
+        kb.write(so, kb.fsub(a, kb.fmul(v, s[k])));
+    }
+    kb.endLoop();
+    return kb.finish();
+}
+
+KernelGraph
+panelAxpyDots()
+{
+    KernelBuilder kb("update2");
+    Val s[8];
+    for (int k = 0; k < 8; ++k)
+        s[k] = kb.ucr(ucrDotBase + k);
+    int sv = kb.addInput();
+    int sa = kb.addInput();
+    int so = kb.addOutput();
+
+    kb.beginLoop();
+    Val v = kb.read(sv);
+    for (int k = 0; k < 8; ++k) {
+        Val a = kb.read(sa);
+        kb.write(so, kb.fsub(a, kb.fmul(v, s[k])));
+    }
+    kb.endLoop();
+    return kb.finish();
+}
+
+KernelGraph
+extractColumn()
+{
+    KernelBuilder kb("extractcol");
+    Val sel = kb.ucr(ucrColSel);
+    int sa = kb.addInput();
+    int so = kb.addOutput();
+    kb.beginLoop();
+    Val w[8];
+    for (auto &x : w)
+        x = kb.read(sa);
+    Val pick = w[0];
+    for (int k = 1; k < 8; ++k)
+        pick = kb.select(kb.ieq(sel, kb.immI(k)), w[k], pick);
+    kb.write(so, pick);
+    kb.endLoop();
+    return kb.finish();
+}
+
+KernelGraph
+houseApply2()
+{
+    KernelBuilder kb("houseapply2");
+    Val cid = kb.cid();
+    Val tau = kb.ucr(ucrTau);
+    Val w = kb.fdiv(kb.immF(1.0f), kb.ucr(ucrVdenom));
+    Val lane0 = kb.ieq(cid, kb.immI(0));
+    int sx = kb.addInput();
+    int sv = kb.addOutput();
+    int su = kb.addOutput();
+
+    kb.beginLoop();
+    Val isFirst = kb.ieq(kb.iterIdx(), kb.immI(0));
+    Val head = kb.iand(isFirst, lane0);
+    Val x = kb.read(sx);
+    Val v = kb.select(head, kb.immF(1.0f), kb.fmul(x, w));
+    kb.write(sv, v);
+    kb.write(su, kb.fmul(v, tau));
+    kb.endLoop();
+    return kb.finish();
+}
+
+} // namespace imagine::kernels

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Linear-algebra kernels for the blocked Householder QR decomposition
+ * (the paper's QRD application; house and update2 in Table 2).
+ *
+ * Scalar results flow between kernels through the UCR file: house
+ * writes (tau, vdenom, beta) to UCRs 8-10, panelDot writes eight dot
+ * products to UCRs 16-23, and panelAxpy consumes both - no host round
+ * trip is needed (the stream controller copies kernel UCR results back
+ * between launches).
+ */
+
+#ifndef IMAGINE_KERNELS_LINALG_HH
+#define IMAGINE_KERNELS_LINALG_HH
+
+#include <vector>
+
+#include "kernelc/dfg.hh"
+
+namespace imagine::kernels
+{
+
+/** UCR indices used by the QRD kernels. */
+enum QrdUcr : int
+{
+    ucrTau = 8,
+    ucrVdenom = 9,
+    ucrBeta = 10,
+    ucrDotBase = 16,    ///< 16..23: panel dot products
+    ucrColSel = 28,     ///< extractColumn's column selector
+};
+
+/**
+ * Householder reflector generation over a column stream (rec 4).
+ *
+ * Computes sigma = sum x^2 (per-lane accumulators + COMM reduction),
+ * alpha = x[0], beta = -sign(alpha)*sqrt(sigma),
+ * tau = (beta - alpha)/beta, vdenom = alpha - beta, and writes them to
+ * UCRs 8-10.  The column itself stays in the SRF for houseApply.
+ */
+kernelc::KernelGraph house();
+
+/** Golden model mirroring the kernel's reduction order exactly. */
+struct HouseResult
+{
+    float tau, vdenom, beta;
+};
+HouseResult houseGolden(const std::vector<float> &x);
+
+/**
+ * Normalize the reflector: v[i] = x[i] / vdenom, v[0] = 1 (rec 4).
+ * Reads vdenom from UCR 9.
+ */
+kernelc::KernelGraph houseApply();
+
+/**
+ * Panel dot products: dot_k = sum_i v[i] * A[i][k] for an 8-column
+ * panel (v rec 1, panel rec 8).  Results go to UCRs 16-23.
+ */
+kernelc::KernelGraph panelDot();
+
+/**
+ * Panel update: A'[i][k] = A[i][k] - v[i] * (tau * dot_k).
+ * Inputs v (rec 1) and panel (rec 8); output updated panel (rec 8).
+ */
+kernelc::KernelGraph panelAxpy();
+
+/**
+ * Panel update with the scale factors taken directly from UCRs 16-23
+ * (for use with tau-scaled reflectors u: dots already include tau).
+ */
+kernelc::KernelGraph panelAxpyDots();
+
+/** Extract column (UCR 28) of an 8-wide panel: rec 8 in, rec 1 out. */
+kernelc::KernelGraph extractColumn();
+
+/**
+ * Reflector normalization producing both v = x/vdenom (v[0] = 1) and
+ * the tau-scaled copy u = tau * v, so downstream dot products fold tau
+ * in without another scalar hand-off.
+ */
+kernelc::KernelGraph houseApply2();
+
+} // namespace imagine::kernels
+
+#endif // IMAGINE_KERNELS_LINALG_HH

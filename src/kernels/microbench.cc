@@ -1,0 +1,200 @@
+#include "kernels/microbench.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace imagine::kernels
+{
+
+using kernelc::KernelBuilder;
+using kernelc::KernelGraph;
+using kernelc::Val;
+
+KernelGraph
+peakFlops()
+{
+    KernelBuilder kb("peakflops");
+    int sin = kb.addInput();
+    int sout = kb.addOutput();
+    kb.beginLoop();
+    Val v = kb.read(sin);
+    // 12 independent adds (3 adders x II 4) and 8 independent
+    // multiplies (2 multipliers x II 4): 40 FLOPs per cycle across the
+    // array at II = 4.
+    Val last = v;
+    for (int i = 0; i < 12; ++i) {
+        Val r = kb.fadd(v, kb.immF(1.0f + i));
+        if (i == 11)
+            last = r;
+    }
+    Val lastMul = v;
+    for (int i = 0; i < 8; ++i) {
+        Val r = kb.fmul(v, kb.immF(0.5f + i));
+        if (i == 7)
+            lastMul = r;
+    }
+    kb.write(sout, lastMul);
+    (void)last;
+    kb.endLoop();
+    return kb.finish();
+}
+
+KernelGraph
+peakOps()
+{
+    KernelBuilder kb("peakops");
+    int sin = kb.addInput();
+    int sout = kb.addOutput();
+    kb.beginLoop();
+    Val v = kb.read(sin);
+    // 12 packed byte-adds (4 ops each) + 8 packed 16-bit dot products
+    // (2 ops each): 64 weighted ops per element, 128 per cycle at II 4.
+    Val last = v;
+    for (int i = 0; i < 12; ++i) {
+        Val r = kb.op2(Opcode::Add8x4, v, kb.imm(0x01010101u * (i + 1)));
+        if (i == 11)
+            last = r;
+    }
+    Val lastDot = v;
+    for (int i = 0; i < 8; ++i) {
+        Val r = kb.op2(Opcode::Dot16x2, v,
+                       kb.imm(pack16(static_cast<uint16_t>(i + 1), 3)));
+        if (i == 7)
+            lastDot = r;
+    }
+    kb.write(sout, lastDot);
+    (void)last;
+    kb.endLoop();
+    return kb.finish();
+}
+
+KernelGraph
+commSort32()
+{
+    KernelBuilder kb("sort32");
+    int sin = kb.addInput();
+    int sout = kb.addOutput();
+
+    // Prologue: per-lane compare-exchange roles, computed once.  The
+    // position of slot k in a 32-element group is g = 4*cid + k
+    // (lane-major records), so the role masks depend only on the
+    // cluster id and are loop-invariant.
+    Val cid = kb.cid();
+    Val g[4];
+    for (int k = 0; k < 4; ++k)
+        g[k] = kb.iadd(kb.imul(cid, kb.immI(4)), kb.immI(k));
+    std::vector<std::array<Val, 4>> keepMin;
+    std::vector<Val> partnerLane;
+    for (int size = 2; size <= 32; size <<= 1) {
+        for (int stride = size >> 1; stride >= 1; stride >>= 1) {
+            partnerLane.push_back(
+                stride >= 4 ? kb.ixor(cid, kb.immI(stride >> 2))
+                            : cid);     // identity COMM for intra-lane
+            std::array<Val, 4> km;
+            for (int k = 0; k < 4; ++k) {
+                // keepMin = ((g & size) == 0) == ((g & stride) == 0)
+                Val ascBit = kb.ieq(kb.iand(g[k], kb.immI(size)),
+                                    kb.immI(0));
+                Val loBit = kb.ieq(kb.iand(g[k], kb.immI(stride)),
+                                   kb.immI(0));
+                km[k] = kb.ieq(ascBit, loBit);
+            }
+            keepMin.push_back(km);
+        }
+    }
+
+    kb.beginLoop();
+    Val v[4];
+    for (auto &x : v)
+        x = kb.read(sin);
+
+    size_t stage = 0;
+    for (int size = 2; size <= 32; size <<= 1) {
+        for (int stride = size >> 1; stride >= 1; stride >>= 1) {
+            Val pv[4], nv[4];
+            for (int k = 0; k < 4; ++k) {
+                int slot = stride < 4 ? (k ^ stride) : k;
+                // Every exchange moves through the COMM unit, keeping
+                // it saturated (Table 1's 7.84 ops/cycle benchmark).
+                pv[k] = kb.comm(v[slot], partnerLane[stage]);
+            }
+            for (int k = 0; k < 4; ++k) {
+                nv[k] = kb.select(keepMin[stage][k],
+                                  kb.imin(v[k], pv[k]),
+                                  kb.imax(v[k], pv[k]));
+            }
+            for (int k = 0; k < 4; ++k)
+                v[k] = nv[k];
+            ++stage;
+        }
+    }
+    for (int k = 0; k < 4; ++k)
+        kb.write(sout, v[k]);
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+commSort32Golden(const std::vector<Word> &in)
+{
+    IMAGINE_ASSERT(in.size() % 32 == 0, "sort32 needs 32-element groups");
+    std::vector<Word> out = in;
+    for (size_t base = 0; base < out.size(); base += 32) {
+        std::sort(out.begin() + static_cast<std::ptrdiff_t>(base),
+                  out.begin() + static_cast<std::ptrdiff_t>(base) + 32,
+                  [](Word a, Word b) {
+                      return wordToInt(a) < wordToInt(b);
+                  });
+    }
+    return out;
+}
+
+KernelGraph
+srfCopy()
+{
+    KernelBuilder kb("srfcopy");
+    int sin = kb.addInput();
+    int sout = kb.addOutput();
+    kb.beginLoop();
+    Val a = kb.read(sin);
+    Val b = kb.read(sin);
+    kb.write(sout, a);
+    kb.write(sout, b);
+    kb.endLoop();
+    return kb.finish();
+}
+
+KernelGraph
+streamLength(int mainLoopCycles, int prologueCycles)
+{
+    KernelBuilder kb(strfmt("slen_m%d_p%d", mainLoopCycles,
+                            prologueCycles));
+    int sin = kb.addInput();
+    int sout = kb.addOutput();
+
+    // Prologue: two parallel dependent add chains -> 1.6 GOPS while it
+    // runs, with length ~= prologueCycles.
+    int chain = std::max(prologueCycles / 2, 1);
+    Val a = kb.immI(1), b = kb.immI(2);
+    for (int i = 0; i < chain; ++i) {
+        a = kb.iadd(a, kb.immI(3));
+        b = kb.iadd(b, kb.immI(5));
+    }
+
+    kb.beginLoop();
+    Val v = kb.read(sin);
+    // Main loop: 3 independent adds per target cycle fill the three
+    // adders exactly -> II == mainLoopCycles, 4.8 GOPS while running.
+    Val last = v;
+    for (int i = 0; i < 3 * mainLoopCycles; ++i) {
+        Val r = kb.iadd(v, kb.immI(i));
+        if (i + 1 == 3 * mainLoopCycles)
+            last = r;
+    }
+    kb.write(sout, kb.iadd(last, kb.iadd(a, b)));
+    kb.endLoop();
+    return kb.finish();
+}
+
+} // namespace imagine::kernels

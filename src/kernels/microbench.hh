@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Synthetic micro-benchmark kernels (paper section 3.1 and 3.3).
+ *
+ *  - peakFlops: saturates the 3 adders + 2 multipliers per cluster with
+ *    independent single-precision ops (Table 1 "Cluster (FLOPS)").
+ *  - peakOps: saturates the same units with packed 8-bit adds and
+ *    16-bit multiplies (Table 1 "Cluster (OPS)").
+ *  - commSort: bitonic sort of 32 stream elements per loop iteration;
+ *    the cross-cluster compare-exchanges saturate the COMM units
+ *    (Table 1 "Inter-cluster comm.").
+ *  - srfCopy: streams data in and straight back out, demanding twice
+ *    the SRF's aggregate bandwidth (Table 1 "SRF").
+ *  - streamLength: the parameterized kernel of section 3.3 with a
+ *    configurable main-loop II and prologue length (Figures 7 and 8).
+ */
+
+#ifndef IMAGINE_KERNELS_MICROBENCH_HH
+#define IMAGINE_KERNELS_MICROBENCH_HH
+
+#include <vector>
+
+#include "kernelc/dfg.hh"
+
+namespace imagine::kernels
+{
+
+/** Peak-FLOPS kernel: 12 fp adds + 8 fp multiplies per element. */
+kernelc::KernelGraph peakFlops();
+
+/** Peak-OPS kernel: 12 packed 8-bit adds + 8 packed 16-bit dots. */
+kernelc::KernelGraph peakOps();
+
+/** Bitonic sort of 32 elements per iteration (COMM saturating). */
+kernelc::KernelGraph commSort32();
+/** Golden model: ascending sort of each 32-element group. */
+std::vector<Word> commSort32Golden(const std::vector<Word> &in);
+
+/** SRF bandwidth kernel: two words in, two words out, no arithmetic. */
+kernelc::KernelGraph srfCopy();
+
+/**
+ * Section 3.3 parameterized kernel.
+ *
+ * @param mainLoopCycles target initiation interval of the main loop
+ *        (filled with independent integer adds at 3 per cycle)
+ * @param prologueCycles target prologue length (dependent add chain)
+ */
+kernelc::KernelGraph streamLength(int mainLoopCycles, int prologueCycles);
+
+} // namespace imagine::kernels
+
+#endif // IMAGINE_KERNELS_MICROBENCH_HH

@@ -1,0 +1,74 @@
+#include "kernels/rle.hh"
+
+#include "sim/log.hh"
+
+namespace imagine::kernels
+{
+
+using kernelc::KernelBuilder;
+using kernelc::KernelGraph;
+using kernelc::Val;
+
+KernelGraph
+rle()
+{
+    KernelBuilder kb("rle");
+    int sin = kb.addInput();
+    int sout = kb.addOutput(/*conditional=*/true);
+    Val zero = kb.immI(0);
+    Val stage = kb.immI(0);     // scratchpad staging slot
+
+    kb.beginLoop();
+    Val px = kb.iand(kb.read(sin), kb.imm(0xffffu));
+    // 0x10000 never matches a 16-bit value: the first element always
+    // starts a fresh run.
+    Val curVal = kb.accum(kb.imm(0x10000u));
+    Val curLen = kb.accum(zero);
+
+    Val eq = kb.ieq(px, curVal);
+    Val emit = kb.iand(kb.ieq(eq, zero), kb.ilt(zero, curLen));
+    Val packed = kb.ior(kb.shl(curLen, kb.immI(16)), curVal);
+    // Both the candidate run record and the incoming value are staged
+    // through the scratchpad; the serialized scratchpad chain is what
+    // makes RLE the slowest kernel in the suite (the paper attributes
+    // RLE's poor main-loop rate to scratchpad bandwidth).
+    kb.spWrite(stage, packed);
+    Val staged = kb.spRead(stage);
+    Val stageVal = kb.immI(1);
+    kb.spWrite(stageVal, px);
+    Val stagedPx = kb.spRead(stageVal);
+    kb.writeCond(sout, staged, emit);
+
+    kb.accumSet(curLen, kb.select(eq, kb.iadd(curLen, kb.immI(1)),
+                                  kb.immI(1)));
+    kb.accumSet(curVal, kb.select(eq, curVal, stagedPx));
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+rleGolden(const std::vector<Word> &in)
+{
+    IMAGINE_ASSERT(in.size() % numClusters == 0,
+                   "rle stream must be SIMD aligned");
+    uint32_t curVal[numClusters];
+    uint32_t curLen[numClusters] = {};
+    for (auto &v : curVal)
+        v = 0x10000u;
+    std::vector<Word> out;
+    size_t iters = in.size() / numClusters;
+    for (size_t i = 0; i < iters; ++i) {
+        for (int l = 0; l < numClusters; ++l) {
+            uint32_t px = in[i * numClusters +
+                             static_cast<size_t>(l)] & 0xffffu;
+            bool eq = px == curVal[l];
+            if (!eq && curLen[l] > 0)
+                out.push_back((curLen[l] << 16) | curVal[l]);
+            curLen[l] = eq ? curLen[l] + 1 : 1;
+            curVal[l] = eq ? curVal[l] : px;
+        }
+    }
+    return out;
+}
+
+} // namespace imagine::kernels

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Run-length encoding kernel (Table 2; MPEG's entropy front end).
+ *
+ * Each lane run-length-encodes its own element strip: one 16-bit value
+ * per input word, conditional output of packed (count:16 | value:16)
+ * records when a run breaks.  Runs are staged through the scratchpad,
+ * which together with the serialized conditional writes makes this the
+ * lowest-rate kernel in the suite - the paper attributes RLE's poor
+ * main-loop performance to scratchpad bandwidth.
+ *
+ * The final run of each lane is flushed only when a value change
+ * arrives, so callers append one sentinel element (value 0xFFFF) per
+ * lane at the end of the stream.
+ */
+
+#ifndef IMAGINE_KERNELS_RLE_HH
+#define IMAGINE_KERNELS_RLE_HH
+
+#include <vector>
+
+#include "kernelc/dfg.hh"
+
+namespace imagine::kernels
+{
+
+/** Run-length encoder (in: rec 1, 16-bit value; out: conditional). */
+kernelc::KernelGraph rle();
+
+/**
+ * Golden model.
+ *
+ * @param in one value per word, lane-interleaved, sentinel included
+ * @return packed (count<<16 | value) records in lane-compaction order
+ */
+std::vector<Word> rleGolden(const std::vector<Word> &in);
+
+} // namespace imagine::kernels
+
+#endif // IMAGINE_KERNELS_RLE_HH

@@ -1,0 +1,320 @@
+#include "kernels/rtsl.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace imagine::kernels
+{
+
+using kernelc::KernelBuilder;
+using kernelc::KernelGraph;
+using kernelc::Val;
+
+KernelGraph
+vertexTransform()
+{
+    KernelBuilder kb("vtxxform");
+    Val m[16];
+    for (int i = 0; i < 16; ++i)
+        m[i] = kb.ucr(i);
+    int sin = kb.addInput();
+    int sout = kb.addOutput();
+
+    kb.beginLoop();
+    Val v[4];
+    for (auto &c : v)
+        c = kb.read(sin);
+    Val p[4];
+    for (int r = 0; r < 4; ++r) {
+        p[r] = kb.fadd(
+            kb.fadd(kb.fmul(m[r * 4 + 0], v[0]),
+                    kb.fmul(m[r * 4 + 1], v[1])),
+            kb.fadd(kb.fmul(m[r * 4 + 2], v[2]),
+                    kb.fmul(m[r * 4 + 3], v[3])));
+    }
+    Val winv = kb.fdiv(kb.immF(1.0f), p[3]);
+    kb.write(sout, kb.fmul(p[0], winv));
+    kb.write(sout, kb.fmul(p[1], winv));
+    kb.write(sout, kb.fmul(p[2], winv));
+    kb.write(sout, kb.immF(1.0f));
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+vertexTransformGolden(const std::vector<Word> &verts, const float m[16])
+{
+    std::vector<Word> out(verts.size());
+    for (size_t i = 0; i < verts.size(); i += 4) {
+        float v[4], p[4];
+        for (int c = 0; c < 4; ++c)
+            v[c] = wordToFloat(verts[i + static_cast<size_t>(c)]);
+        for (int r = 0; r < 4; ++r) {
+            p[r] = (m[r * 4 + 0] * v[0] + m[r * 4 + 1] * v[1]) +
+                   (m[r * 4 + 2] * v[2] + m[r * 4 + 3] * v[3]);
+        }
+        float winv = 1.0f / p[3];
+        out[i] = floatToWord(p[0] * winv);
+        out[i + 1] = floatToWord(p[1] * winv);
+        out[i + 2] = floatToWord(p[2] * winv);
+        out[i + 3] = floatToWord(1.0f);
+    }
+    return out;
+}
+
+KernelGraph
+cullTriangles()
+{
+    KernelBuilder kb("culltri");
+    Val sw = kb.ucr(ucrScreenW);    // float screen bounds
+    Val sh = kb.ucr(ucrScreenH);
+    int sin = kb.addInput();
+    int souts[9];
+    for (auto &s : souts)
+        s = kb.addOutput(/*conditional=*/true);
+
+    kb.beginLoop();
+    // Three rec-4 vertices; w is read and ignored.
+    Val t[9];
+    for (int vtx = 0; vtx < 3; ++vtx) {
+        for (int c = 0; c < 4; ++c) {
+            Val w = kb.read(sin);
+            if (c < 3)
+                t[vtx * 3 + c] = w;
+        }
+    }
+    // Signed area: CCW triangles face the camera.
+    Val area = kb.fsub(
+        kb.fmul(kb.fsub(t[3], t[0]), kb.fsub(t[7], t[1])),
+        kb.fmul(kb.fsub(t[4], t[1]), kb.fsub(t[6], t[0])));
+    Val facing = kb.flt(kb.immF(0.0f), area);
+    // Coarse screen-bounds test on vertex 0.
+    Val onX = kb.iand(kb.fle(kb.immF(0.0f), t[0]), kb.flt(t[0], sw));
+    Val onY = kb.iand(kb.fle(kb.immF(0.0f), t[1]), kb.flt(t[1], sh));
+    Val keep = kb.iand(facing, kb.iand(onX, onY));
+    for (int c = 0; c < 9; ++c)
+        kb.writeCond(souts[c], t[c], keep);
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+cullTrianglesGolden(const std::vector<Word> &verts, float screenW,
+                    float screenH)
+{
+    std::vector<Word> out;
+    size_t n = verts.size() / 12;
+    for (size_t i = 0; i < n; ++i) {
+        const Word *v = &verts[i * 12];
+        Word t[9];
+        for (int vtx = 0; vtx < 3; ++vtx)
+            for (int c = 0; c < 3; ++c)
+                t[vtx * 3 + c] = v[vtx * 4 + c];
+        float x0 = wordToFloat(t[0]), y0 = wordToFloat(t[1]);
+        float x1 = wordToFloat(t[3]), y1 = wordToFloat(t[4]);
+        float x2 = wordToFloat(t[6]), y2 = wordToFloat(t[7]);
+        float area = (x1 - x0) * (y2 - y0) - (y1 - y0) * (x2 - x0);
+        bool keep = (0.0f < area) && (0.0f <= x0 && x0 < screenW) &&
+                    (0.0f <= y0 && y0 < screenH);
+        if (keep)
+            out.insert(out.end(), t, t + 9);
+    }
+    return out;
+}
+
+KernelGraph
+rasterize()
+{
+    KernelBuilder kb("rasterize");
+    Val swi = kb.ucr(ucrScreenW);   // integer width/height here
+    Val shi = kb.ucr(ucrScreenH);
+    int sins[9];
+    for (auto &s : sins)
+        s = kb.addInput();
+    int oAddr = kb.addOutput(/*conditional=*/true);
+    int oPay = kb.addOutput(/*conditional=*/true);
+    Val half = kb.immF(0.5f);
+    Val zero = kb.immF(0.0f);
+
+    kb.beginLoop();
+    Val t[9];
+    for (int c = 0; c < 9; ++c)
+        t[c] = kb.read(sins[c]);
+    Val vx[3] = {t[0], t[3], t[6]};
+    Val vy[3] = {t[1], t[4], t[7]};
+    // Bounding-box anchor.
+    Val xmin = kb.ftoi(kb.fmin(kb.fmin(vx[0], vx[1]), vx[2]));
+    Val ymin = kb.ftoi(kb.fmin(kb.fmin(vy[0], vy[1]), vy[2]));
+    // Flat depth from vertex 0 (quantized to 16 bits).
+    Val zq = kb.ftoi(kb.fmul(t[2], kb.immF(65535.0f)));
+    // Edge vectors (b - a) per edge a->b: (0->1, 1->2, 2->0).
+    Val ex[3], ey[3];
+    for (int e = 0; e < 3; ++e) {
+        int a = e, b = (e + 1) % 3;
+        ex[e] = kb.fsub(vx[b], vx[a]);
+        ey[e] = kb.fsub(vy[b], vy[a]);
+    }
+    for (int dy = 0; dy < 4; ++dy) {
+        for (int dx = 0; dx < 4; ++dx) {
+            Val gx = kb.iadd(xmin, kb.immI(dx));
+            Val gy = kb.iadd(ymin, kb.immI(dy));
+            Val px = kb.fadd(kb.itof(gx), half);
+            Val py = kb.fadd(kb.itof(gy), half);
+            Val inside{};
+            for (int e = 0; e < 3; ++e) {
+                int a = e;
+                // cross((b-a), (p-a)) >= 0 for all edges -> inside CCW.
+                Val cr = kb.fsub(
+                    kb.fmul(ex[e], kb.fsub(py, vy[a])),
+                    kb.fmul(ey[e], kb.fsub(px, vx[a])));
+                Val pos = kb.fle(zero, cr);
+                inside = (e == 0) ? pos : kb.iand(inside, pos);
+            }
+            Val inX = kb.iand(kb.ile(kb.immI(0), gx), kb.ilt(gx, swi));
+            Val inY = kb.iand(kb.ile(kb.immI(0), gy), kb.ilt(gy, shi));
+            Val keep = kb.iand(inside, kb.iand(inX, inY));
+            Val addr = kb.iadd(kb.imul(gy, swi), gx);
+            kb.writeCond(oAddr, addr, keep);
+            kb.writeCond(oPay, zq, keep);
+        }
+    }
+    kb.endLoop();
+    return kb.finish();
+}
+
+void
+rasterizeGolden(const std::vector<Word> &tris, int screenW, int screenH,
+                std::vector<Word> &addrs, std::vector<Word> &depths)
+{
+    addrs.clear();
+    depths.clear();
+    size_t n = tris.size() / 9;
+    // Conditional compaction order: within one SIMD iteration (eight
+    // triangles) the kernel appends sample 0 of every lane, then
+    // sample 1, and so on.
+    for (size_t base = 0; base < n; base += numClusters) {
+        for (int s = 0; s < 16; ++s) {
+            int dy = s / 4, dx = s % 4;
+            for (int lane = 0; lane < numClusters; ++lane) {
+                size_t i = base + static_cast<size_t>(lane);
+                if (i >= n)
+                    continue;
+                const Word *t = &tris[i * 9];
+                float vx[3] = {wordToFloat(t[0]), wordToFloat(t[3]),
+                               wordToFloat(t[6])};
+                float vy[3] = {wordToFloat(t[1]), wordToFloat(t[4]),
+                               wordToFloat(t[7])};
+                int xmin = static_cast<int>(
+                    std::fmin(std::fmin(vx[0], vx[1]), vx[2]));
+                int ymin = static_cast<int>(
+                    std::fmin(std::fmin(vy[0], vy[1]), vy[2]));
+                auto zq = static_cast<int32_t>(wordToFloat(t[2]) *
+                                               65535.0f);
+                int gx = xmin + dx, gy = ymin + dy;
+                float px = static_cast<float>(gx) + 0.5f;
+                float py = static_cast<float>(gy) + 0.5f;
+                bool inside = true;
+                for (int e = 0; e < 3 && inside; ++e) {
+                    int a = e, b = (e + 1) % 3;
+                    float cr = (vx[b] - vx[a]) * (py - vy[a]) -
+                               (vy[b] - vy[a]) * (px - vx[a]);
+                    inside = 0.0f <= cr;
+                }
+                bool keep = inside && gx >= 0 && gx < screenW &&
+                            gy >= 0 && gy < screenH;
+                if (keep) {
+                    addrs.push_back(
+                        static_cast<Word>(gy * screenW + gx));
+                    depths.push_back(intToWord(zq));
+                }
+            }
+        }
+    }
+}
+
+KernelGraph
+shadeFragments()
+{
+    KernelBuilder kb("shade");
+    int sAddr = kb.addInput();
+    int sZ = kb.addInput();
+    int oAddr = kb.addOutput();
+    int oPay = kb.addOutput();
+    kb.beginLoop();
+    Val addr = kb.read(sAddr);
+    Val zq = kb.read(sZ);
+    // A small procedural shader: intensity from depth with a couple of
+    // lighting-ish terms.
+    Val zf = kb.fmul(kb.itof(zq), kb.immF(1.0f / 65535.0f));
+    Val lit = kb.fadd(kb.fmul(zf, kb.immF(-180.0f)), kb.immF(220.0f));
+    Val spec = kb.fmul(kb.fmul(zf, zf), kb.immF(35.0f));
+    Val c = kb.ftoi(kb.fmax(kb.immF(0.0f),
+                            kb.fmin(kb.fadd(lit, spec),
+                                    kb.immF(255.0f))));
+    kb.write(oAddr, addr);
+    kb.write(oPay, kb.ior(kb.shl(zq, kb.immI(8)), c));
+    kb.endLoop();
+    return kb.finish();
+}
+
+void
+shadeFragmentsGolden(const std::vector<Word> &addrs,
+                     const std::vector<Word> &depths,
+                     std::vector<Word> &outAddrs,
+                     std::vector<Word> &outPays)
+{
+    outAddrs = addrs;
+    outPays.resize(depths.size());
+    for (size_t i = 0; i < depths.size(); ++i) {
+        int32_t zq = wordToInt(depths[i]);
+        float zf = static_cast<float>(zq) * (1.0f / 65535.0f);
+        float lit = zf * -180.0f + 220.0f;
+        float spec = (zf * zf) * 35.0f;
+        auto c = static_cast<int32_t>(
+            std::fmax(0.0f, std::fmin(lit + spec, 255.0f)));
+        outPays[i] = (static_cast<Word>(zq) << 8) |
+                     static_cast<Word>(c);
+    }
+}
+
+KernelGraph
+zCompare()
+{
+    KernelBuilder kb("zcompare");
+    int sAddr = kb.addInput();
+    int sPay = kb.addInput();
+    int sOld = kb.addInput();
+    int oAddr = kb.addOutput(/*conditional=*/true);
+    int oVal = kb.addOutput(/*conditional=*/true);
+    kb.beginLoop();
+    Val addr = kb.read(sAddr);
+    Val pay = kb.read(sPay);
+    Val old = kb.read(sOld);
+    Val newZ = kb.shr(pay, kb.immI(8));
+    Val oldZ = kb.shr(old, kb.immI(8));
+    Val pass = kb.ilt(newZ, oldZ);
+    kb.writeCond(oAddr, addr, pass);
+    kb.writeCond(oVal, pay, pass);
+    kb.endLoop();
+    return kb.finish();
+}
+
+void
+zCompareGolden(const std::vector<Word> &addrs,
+               const std::vector<Word> &pays,
+               const std::vector<Word> &oldZ, std::vector<Word> &outAddrs,
+               std::vector<Word> &outVals)
+{
+    outAddrs.clear();
+    outVals.clear();
+    for (size_t i = 0; i < oldZ.size(); ++i) {
+        if (static_cast<int32_t>(pays[i] >> 8) <
+            static_cast<int32_t>(oldZ[i] >> 8)) {
+            outAddrs.push_back(addrs[i]);
+            outVals.push_back(pays[i]);
+        }
+    }
+}
+
+} // namespace imagine::kernels

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * RTSL rendering-pipeline kernels: a programmable-shading polygon
+ * pipeline in the spirit of the Stanford Real-Time Shading Language
+ * renderer the paper evaluates.  The pipeline is:
+ *
+ *   vertexTransform -> cullTriangles (conditional) -> [host reads count]
+ *   -> rasterize (conditional fragments) -> [host reads count]
+ *   -> shadeFragments -> gather zbuffer -> zCompare (conditional)
+ *   -> scatter survivors to the framebuffer
+ *
+ * Conditional streams compact word-by-word across lanes, so variable-
+ * length records are carried struct-of-arrays: culled triangles are
+ * nine parallel conditional streams (one per coordinate), fragments
+ * are parallel (address, payload) streams.  Each conditional stream
+ * uses the same emit predicate, so the columns stay aligned.
+ *
+ * The data-dependent stream lengths and the host round trips between
+ * stages reproduce RTSL's distinguishing overheads (short streams,
+ * memory stalls, host-dependency serialization - section 4.2).
+ *
+ * UCRs: 0..15 = 4x4 transform matrix (row major), 16 = screen width,
+ * 17 = screen height (float for cull, integer for rasterize).
+ */
+
+#ifndef IMAGINE_KERNELS_RTSL_HH
+#define IMAGINE_KERNELS_RTSL_HH
+
+#include <vector>
+
+#include "kernelc/dfg.hh"
+
+namespace imagine::kernels
+{
+
+/** Screen parameter UCR indices. */
+enum RtslUcr : int { ucrScreenW = 16, ucrScreenH = 17 };
+
+/** Vertex transform + perspective divide: rec 4 in, rec 4 out. */
+kernelc::KernelGraph vertexTransform();
+std::vector<Word> vertexTransformGolden(const std::vector<Word> &verts,
+                                        const float m[16]);
+
+/**
+ * Backface/bounds cull: one rec-12 input stream (three rec-4 vertices
+ * per triangle), nine conditional output streams (x0,y0,z0,...,z2).
+ */
+kernelc::KernelGraph cullTriangles();
+/** Golden: kept triangles, flat 9 words each (struct-of-arrays order
+ *  equals this order column-by-column). */
+std::vector<Word> cullTrianglesGolden(const std::vector<Word> &verts,
+                                      float screenW, float screenH);
+
+/**
+ * Rasterize: nine rec-1 triangle coordinate streams in; two
+ * conditional outputs: fragment framebuffer addresses and depth
+ * payloads.  Covers a 4x4 sample grid anchored at the bbox min.
+ */
+kernelc::KernelGraph rasterize();
+void rasterizeGolden(const std::vector<Word> &tris, int screenW,
+                     int screenH, std::vector<Word> &addrs,
+                     std::vector<Word> &depths);
+
+/** Fragment shading: (addr, z) streams in; (addr, z<<8|color) out. */
+kernelc::KernelGraph shadeFragments();
+void shadeFragmentsGolden(const std::vector<Word> &addrs,
+                          const std::vector<Word> &depths,
+                          std::vector<Word> &outAddrs,
+                          std::vector<Word> &outPays);
+
+/**
+ * Depth test: inputs fragment address + payload streams and the
+ * gathered old framebuffer words; conditional outputs: surviving
+ * addresses and payloads.
+ */
+kernelc::KernelGraph zCompare();
+void zCompareGolden(const std::vector<Word> &addrs,
+                    const std::vector<Word> &pays,
+                    const std::vector<Word> &oldZ,
+                    std::vector<Word> &outAddrs,
+                    std::vector<Word> &outVals);
+
+} // namespace imagine::kernels
+
+#endif // IMAGINE_KERNELS_RTSL_HH

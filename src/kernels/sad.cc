@@ -1,0 +1,311 @@
+#include "kernels/sad.hh"
+
+#include "sim/log.hh"
+
+namespace imagine::kernels
+{
+
+using kernelc::KernelBuilder;
+using kernelc::KernelGraph;
+using kernelc::Val;
+
+namespace
+{
+
+Word
+eval2(Opcode op, Word a, Word b)
+{
+    Word in[3] = {a, b, 0};
+    return evalArith(op, in);
+}
+
+} // namespace
+
+KernelGraph
+blockSad7x7()
+{
+    constexpr int taps = 7;
+    constexpr int c = taps / 2;
+    constexpr int lag = 2;
+
+    KernelBuilder kb("blocksad");
+    std::vector<int> lrows(taps), rrows(taps);
+    for (int t = 0; t < taps; ++t)
+        lrows[t] = kb.addInput();
+    for (int t = 0; t < taps; ++t)
+        rrows[t] = kb.addInput();
+    int sout = kb.addOutput();
+    Val sixteen = kb.immI(16);
+
+    kb.beginLoop();
+    // Vertical pass: sum of packed absolute differences down the taps.
+    Val vsum{};
+    for (int t = 0; t < taps; ++t) {
+        Val ad = kb.op2(Opcode::Absd16x2, kb.read(lrows[t]),
+                        kb.read(rrows[t]));
+        vsum = (t == 0) ? ad : kb.op2(Opcode::Add16x2, vsum, ad);
+    }
+    // Horizontal 7-wide box sum with a word history (cf. conv7x7).
+    std::vector<Val> hist(2 * lag + 1);
+    hist[0] = vsum;
+    for (int j = 1; j <= 2 * lag; ++j) {
+        Val a = kb.accum(kb.imm(0));
+        kb.accumSet(a, hist[j - 1]);
+        hist[j] = a;
+    }
+    auto W = [&](int m) { return hist[static_cast<size_t>(lag - m)]; };
+    auto comb = [&](Val a, Val b) {
+        return kb.ior(kb.shr(a, sixteen), kb.shl(b, sixteen));
+    };
+    Val out{};
+    for (int t = -c; t <= c; ++t) {
+        Val pair = (t % 2 == 0) ? W(t / 2)
+                                : comb(W((t - 1) / 2), W((t - 1) / 2 + 1));
+        out = (t == -c) ? pair : kb.op2(Opcode::Add16x2, out, pair);
+    }
+    kb.write(sout, out);
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+blockSad7x7GoldenStrip(const std::vector<std::vector<Word>> &left,
+                       const std::vector<std::vector<Word>> &right)
+{
+    constexpr int taps = 7;
+    constexpr int c = taps / 2;
+    constexpr int lag = 2;
+    const auto n = static_cast<int64_t>(left[0].size());
+
+    std::vector<Word> vsum(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+        Word acc = 0;
+        for (int t = 0; t < taps; ++t) {
+            Word ad = eval2(Opcode::Absd16x2,
+                            left[static_cast<size_t>(t)]
+                                [static_cast<size_t>(i)],
+                            right[static_cast<size_t>(t)]
+                                 [static_cast<size_t>(i)]);
+            acc = (t == 0) ? ad : eval2(Opcode::Add16x2, acc, ad);
+        }
+        vsum[static_cast<size_t>(i)] = acc;
+    }
+    auto W = [&](int64_t m) -> Word {
+        return (m < 0 || m >= n) ? 0u : vsum[static_cast<size_t>(m)];
+    };
+    std::vector<Word> out(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t k = i - lag;
+        Word acc = 0;
+        bool first = true;
+        for (int t = -c; t <= c; ++t) {
+            Word pair;
+            if (t % 2 == 0) {
+                pair = W(k + t / 2);
+            } else {
+                int64_t m = k + (t - 1) / 2;
+                pair = (W(m) >> 16) | (W(m + 1) << 16);
+            }
+            acc = first ? pair : eval2(Opcode::Add16x2, acc, pair);
+            first = false;
+        }
+        out[static_cast<size_t>(i)] = acc;
+    }
+    return out;
+}
+
+KernelGraph
+sadUpdate()
+{
+    KernelBuilder kb("sadupdate");
+    Val d = kb.ucr(0);
+    int sSad = kb.addInput();
+    int sBest = kb.addInput();
+    int sOut = kb.addOutput();
+    Val sixteen = kb.immI(16);
+    Val mask = kb.imm(0xffffu);
+
+    kb.beginLoop();
+    Val s = kb.read(sSad);
+    Val b0 = kb.read(sBest);    // packed best SADs
+    Val b1 = kb.read(sBest);    // packed best disparities
+    Val nb[2], nd[2];
+    for (int h = 0; h < 2; ++h) {
+        Val sh = h ? kb.shr(s, sixteen) : kb.iand(s, mask);
+        Val bh = h ? kb.shr(b0, sixteen) : kb.iand(b0, mask);
+        Val dh = h ? kb.shr(b1, sixteen) : kb.iand(b1, mask);
+        Val better = kb.ilt(sh, bh);
+        nb[h] = kb.select(better, sh, bh);
+        nd[h] = kb.select(better, d, dh);
+    }
+    kb.write(sOut, kb.ior(kb.shl(nb[1], sixteen), nb[0]));
+    kb.write(sOut, kb.ior(kb.shl(nd[1], sixteen), nd[0]));
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+sadUpdateGolden(const std::vector<Word> &sad,
+                const std::vector<Word> &best, uint16_t disparity)
+{
+    std::vector<Word> out(best.size());
+    for (size_t i = 0; i < sad.size(); ++i) {
+        Word s = sad[i];
+        Word b0 = best[2 * i];
+        Word b1 = best[2 * i + 1];
+        uint32_t nb[2], nd[2];
+        for (int h = 0; h < 2; ++h) {
+            uint32_t sh = h ? (s >> 16) : (s & 0xffff);
+            uint32_t bh = h ? (b0 >> 16) : (b0 & 0xffff);
+            uint32_t dh = h ? (b1 >> 16) : (b1 & 0xffff);
+            bool better = static_cast<int32_t>(sh) <
+                          static_cast<int32_t>(bh);
+            nb[h] = better ? sh : bh;
+            nd[h] = better ? disparity : dh;
+        }
+        out[2 * i] = (nb[1] << 16) | nb[0];
+        out[2 * i + 1] = (nd[1] << 16) | nd[0];
+    }
+    return out;
+}
+
+KernelGraph
+sadSearch()
+{
+    constexpr int taps = 7;
+    constexpr int c = taps / 2;
+    constexpr int lag = 2;
+
+    KernelBuilder kb("sadsearch");
+    Val d = kb.ucr(0);
+    std::vector<int> lrows(taps), rrows(taps);
+    for (int t = 0; t < taps; ++t)
+        lrows[t] = kb.addInput();
+    for (int t = 0; t < taps; ++t)
+        rrows[t] = kb.addInput();
+    int sBest = kb.addInput();
+    int sOut = kb.addOutput();
+    Val sixteen = kb.immI(16);
+    Val mask = kb.imm(0xffffu);
+
+    kb.beginLoop();
+    // --- 7x7 box SAD (cf. blockSad7x7) ---
+    Val vsum{};
+    for (int t = 0; t < taps; ++t) {
+        Val ad = kb.op2(Opcode::Absd16x2, kb.read(lrows[t]),
+                        kb.read(rrows[t]));
+        vsum = (t == 0) ? ad : kb.op2(Opcode::Add16x2, vsum, ad);
+    }
+    std::vector<Val> hist(2 * lag + 1);
+    hist[0] = vsum;
+    for (int j = 1; j <= 2 * lag; ++j) {
+        Val a = kb.accum(kb.imm(0));
+        kb.accumSet(a, hist[j - 1]);
+        hist[j] = a;
+    }
+    auto W = [&](int m) { return hist[static_cast<size_t>(lag - m)]; };
+    auto comb = [&](Val a, Val b) {
+        return kb.ior(kb.shr(a, sixteen), kb.shl(b, sixteen));
+    };
+    Val s{};
+    for (int t = -c; t <= c; ++t) {
+        Val pair = (t % 2 == 0) ? W(t / 2)
+                                : comb(W((t - 1) / 2), W((t - 1) / 2 + 1));
+        s = (t == -c) ? pair : kb.op2(Opcode::Add16x2, s, pair);
+    }
+    // --- best-record update (cf. sadUpdate) ---
+    Val b0 = kb.read(sBest);
+    Val b1 = kb.read(sBest);
+    Val nb[2], nd[2];
+    for (int h = 0; h < 2; ++h) {
+        Val sh = h ? kb.shr(s, sixteen) : kb.iand(s, mask);
+        Val bh = h ? kb.shr(b0, sixteen) : kb.iand(b0, mask);
+        Val dh = h ? kb.shr(b1, sixteen) : kb.iand(b1, mask);
+        Val better = kb.ilt(sh, bh);
+        nb[h] = kb.select(better, sh, bh);
+        nd[h] = kb.select(better, d, dh);
+    }
+    kb.write(sOut, kb.ior(kb.shl(nb[1], sixteen), nb[0]));
+    kb.write(sOut, kb.ior(kb.shl(nd[1], sixteen), nd[0]));
+    kb.endLoop();
+    return kb.finish();
+}
+
+KernelGraph
+blockSearch()
+{
+    constexpr int blockWords = 32;  // 8x8 pixels, two per word
+    constexpr int cands = 4;
+
+    KernelBuilder kb("blocksearch");
+    Val firstIdx = kb.ucr(0);
+    int sCur = kb.addInput();
+    int sCand[cands];
+    for (auto &s : sCand)
+        s = kb.addInput();
+    int sBest = kb.addInput();
+    int sOut = kb.addOutput();
+
+    kb.beginLoop();
+    Val cur[blockWords];
+    for (auto &w : cur)
+        w = kb.read(sCur);
+    Val bsad = kb.read(sBest);
+    Val bidx = kb.read(sBest);
+    for (int cd = 0; cd < cands; ++cd) {
+        // Packed absolute differences, then a packed add tree, then a
+        // horizontal add gives the 32-bit block SAD.
+        Val tree[blockWords];
+        for (int w = 0; w < blockWords; ++w)
+            tree[w] = kb.op2(Opcode::Absd16x2, cur[w],
+                             kb.read(sCand[cd]));
+        for (int n = blockWords / 2; n >= 1; n /= 2)
+            for (int w = 0; w < n; ++w)
+                tree[w] = kb.op2(Opcode::Add16x2, tree[w],
+                                 tree[w + n]);
+        Val sad = kb.op1(Opcode::Hadd16x2, tree[0]);
+        Val better = kb.ilt(sad, bsad);
+        bsad = kb.select(better, sad, bsad);
+        bidx = kb.select(better, kb.iadd(firstIdx, kb.immI(cd)), bidx);
+    }
+    kb.write(sOut, bsad);
+    kb.write(sOut, bidx);
+    kb.endLoop();
+    return kb.finish();
+}
+
+std::vector<Word>
+blockSearchGolden(const std::vector<Word> &cur,
+                  const std::vector<std::vector<Word>> &cands,
+                  const std::vector<Word> &bestin, uint32_t firstIndex)
+{
+    constexpr int blockWords = 32;
+    size_t blocks = cur.size() / blockWords;
+    std::vector<Word> out(bestin.size());
+    for (size_t b = 0; b < blocks; ++b) {
+        int32_t bsad = wordToInt(bestin[2 * b]);
+        int32_t bidx = wordToInt(bestin[2 * b + 1]);
+        for (size_t cd = 0; cd < cands.size(); ++cd) {
+            Word acc = 0;
+            bool first = true;
+            for (int w = 0; w < blockWords; ++w) {
+                Word ad = eval2(Opcode::Absd16x2,
+                                cur[b * blockWords + w],
+                                cands[cd][b * blockWords + w]);
+                acc = first ? ad : eval2(Opcode::Add16x2, acc, ad);
+                first = false;
+            }
+            Word in1[3] = {acc, 0, 0};
+            int32_t sad = wordToInt(evalArith(Opcode::Hadd16x2, in1));
+            if (sad < bsad) {
+                bsad = sad;
+                bidx = static_cast<int32_t>(firstIndex + cd);
+            }
+        }
+        out[2 * b] = intToWord(bsad);
+        out[2 * b + 1] = intToWord(bidx);
+    }
+    return out;
+}
+
+} // namespace imagine::kernels

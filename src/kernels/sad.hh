@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Sum-of-absolute-differences kernels: the stereo depth extractor's SAD
+ * pipeline (blocksad + disparity update) and MPEG motion estimation
+ * (blocksearch).  All operate on 16-bit pixel pairs packed two per
+ * word, strip-interleaved across lanes like the convolution kernels.
+ */
+
+#ifndef IMAGINE_KERNELS_SAD_HH
+#define IMAGINE_KERNELS_SAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernelc/dfg.hh"
+
+namespace imagine::kernels
+{
+
+/**
+ * 7x7 box SAD between two images at a fixed disparity.
+ *
+ * Inputs: 7 rows of the left image and 7 rows of the (horizontally
+ * shifted) right image.  Output: per pixel-pair word, the 7x7
+ * window sum of |L - R| centered on each pixel (packed 16-bit),
+ * delayed by 2 words like the convolution kernels.
+ */
+kernelc::KernelGraph blockSad7x7();
+
+/** Golden model for one lane strip. */
+std::vector<Word>
+blockSad7x7GoldenStrip(const std::vector<std::vector<Word>> &left,
+                       const std::vector<std::vector<Word>> &right);
+
+/**
+ * Disparity update: keep the best (lowest) SAD and its disparity.
+ *
+ * Inputs: sad stream (1 word per pixel pair), best stream (record of
+ * 2 words: packed best SAD, packed best disparity).  Output: updated
+ * best records.  The candidate disparity comes from UCR 0.
+ */
+kernelc::KernelGraph sadUpdate();
+
+/** Golden model (whole streams). */
+std::vector<Word> sadUpdateGolden(const std::vector<Word> &sad,
+                                  const std::vector<Word> &best,
+                                  uint16_t disparity);
+
+/**
+ * Fused 7x7 box SAD + disparity update (the DEPTH inner kernel): the
+ * blockSad7x7 datapath feeding the sadUpdate datapath in one pass, so
+ * one launch per (row, disparity) updates the best records in place.
+ *
+ * Inputs: 7 left rows, 7 (shifted) right rows, best records (rec 2).
+ * Output: updated best records (rec 2; bound to the same SRF region
+ * for an in-place update).  UCR 0 holds the candidate disparity.
+ */
+kernelc::KernelGraph sadSearch();
+
+/**
+ * Motion-estimation blocksearch: each iteration compares one 8x8
+ * current block (32 words) against four candidate blocks and folds the
+ * result into a running (SAD, index) record.
+ *
+ * Inputs: cur (rec 32), four candidate streams (rec 32 each - shifted
+ * views of the reference frame), bestin (rec 2: 32-bit SAD, 32-bit
+ * candidate index).  Output: bestout (rec 2).  UCR 0 holds the index
+ * of the first of the four candidates.
+ */
+kernelc::KernelGraph blockSearch();
+
+/** Golden model; @p cands holds the four candidate streams. */
+std::vector<Word>
+blockSearchGolden(const std::vector<Word> &cur,
+                  const std::vector<std::vector<Word>> &cands,
+                  const std::vector<Word> &bestin, uint32_t firstIndex);
+
+} // namespace imagine::kernels
+
+#endif // IMAGINE_KERNELS_SAD_HH

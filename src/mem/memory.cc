@@ -1,0 +1,294 @@
+#include "mem/memory.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace imagine
+{
+
+MemorySystem::MemorySystem(const MachineConfig &cfg, Srf &srf)
+    : cfg_(cfg), srf_(srf), ags_(cfg.numAddressGenerators),
+      channels_(cfg.numChannels),
+      cacheTags_(static_cast<size_t>(cfg.mcCacheWords), -1)
+{
+    for (Channel &ch : channels_)
+        ch.banks.assign(cfg.banksPerChannel, Bank{});
+}
+
+double
+MemorySystem::peakWordsPerCycle() const
+{
+    return static_cast<double>(cfg_.numChannels) / cfg_.memClockDivider;
+}
+
+void
+MemorySystem::startLoad(int ag, const Mar &mar, const Sdr &dst,
+                        const Sdr *idx)
+{
+    AgState &st = ags_[ag];
+    IMAGINE_ASSERT(!st.active, "AG%d already busy", ag);
+    st = AgState{};
+    st.active = true;
+    st.isLoad = true;
+    st.mar = mar;
+    st.length = dst.length;
+    st.dataClient = srf_.openOut(dst);
+    if (mar.mode == MarMode::Indexed) {
+        IMAGINE_ASSERT(idx, "indexed load without index stream");
+        st.indexed = true;
+        st.idxClient = srf_.openIn(*idx);
+        IMAGINE_ASSERT(idx->length * mar.recordWords == dst.length,
+                       "index stream length %u does not cover %u words",
+                       idx->length, dst.length);
+    } else {
+        IMAGINE_ASSERT(dst.length % mar.recordWords == 0,
+                       "stream length %u not a multiple of record size %u",
+                       dst.length, mar.recordWords);
+    }
+}
+
+void
+MemorySystem::startStore(int ag, const Mar &mar, const Sdr &src,
+                         const Sdr *idx)
+{
+    AgState &st = ags_[ag];
+    IMAGINE_ASSERT(!st.active, "AG%d already busy", ag);
+    st = AgState{};
+    st.active = true;
+    st.isLoad = false;
+    st.mar = mar;
+    st.length = src.length;
+    st.dataClient = srf_.openIn(src);
+    if (mar.mode == MarMode::Indexed) {
+        IMAGINE_ASSERT(idx, "indexed store without index stream");
+        st.indexed = true;
+        st.idxClient = srf_.openIn(*idx);
+    }
+}
+
+void
+MemorySystem::startSinkLoad(int ag, Addr baseWord, uint32_t words)
+{
+    AgState &st = ags_[ag];
+    IMAGINE_ASSERT(!st.active, "AG%d already busy", ag);
+    st = AgState{};
+    st.active = true;
+    st.isLoad = true;
+    st.sink = true;
+    st.mar.baseWord = baseWord;
+    st.mar.mode = MarMode::Stride;
+    st.mar.strideWords = 1;
+    st.mar.recordWords = 1;
+    st.length = words;
+}
+
+bool
+MemorySystem::agDone(int ag) const
+{
+    const AgState &st = ags_[ag];
+    if (!st.active || st.completed < st.length)
+        return false;
+    if (st.isLoad && !st.sink)
+        return srf_.outDrained(st.dataClient);
+    return true;
+}
+
+void
+MemorySystem::finish(int ag)
+{
+    AgState &st = ags_[ag];
+    IMAGINE_ASSERT(agDone(ag), "finish on unfinished AG%d", ag);
+    if (st.dataClient >= 0)
+        srf_.close(st.dataClient);
+    if (st.idxClient >= 0)
+        srf_.close(st.idxClient);
+    st = AgState{};
+}
+
+bool
+MemorySystem::recordBase(AgState &st, uint32_t record, Addr &base)
+{
+    if (!st.indexed) {
+        base = st.mar.baseWord +
+               static_cast<Addr>(record) * st.mar.strideWords;
+        return true;
+    }
+    if (st.curRecord == record) {
+        base = st.curRecordBase;
+        return true;
+    }
+    if (!srf_.inReady(st.idxClient, record))
+        return false;
+    Word off = srf_.inConsume(st.idxClient, record);
+    st.curRecord = record;
+    st.curRecordBase = st.mar.baseWord + off;
+    base = st.curRecordBase;
+    return true;
+}
+
+void
+MemorySystem::issueAccess(AgState &st, int agIdx, Addr addr, uint32_t elem,
+                          Cycle now)
+{
+    if (st.isLoad) {
+        size_t slot = addr % cacheTags_.size();
+        if (cacheTags_[slot] == static_cast<int64_t>(addr)) {
+            ++stats_.cacheHits;
+            st.deliveries.push({now + cfg_.mcPipelineCycles, elem,
+                                space_.readWord(addr)});
+            return;
+        }
+        cacheTags_[slot] = static_cast<int64_t>(addr);
+    } else {
+        // Write-through: memory image updated at consume time; the tag
+        // stays valid because data is always read from the image.
+        size_t slot = addr % cacheTags_.size();
+        if (cacheTags_[slot] != static_cast<int64_t>(addr))
+            cacheTags_[slot] = -1;
+    }
+    Channel &ch = channels_[addr % channels_.size()];
+    ch.queue.push_back({addr, elem, static_cast<uint8_t>(agIdx),
+                        !st.isLoad, now / cfg_.memClockDivider});
+}
+
+void
+MemorySystem::generate(int ag, Cycle now)
+{
+    AgState &st = ags_[ag];
+    // Strided records burst several words per cycle; indexed (gather/
+    // scatter) access is limited to one generated address per cycle.
+    int budget = st.indexed ? 1 : 4;
+    // Keep outstanding work inside the SRF buffer window (or a fixed
+    // window for sink loads).
+    while (budget > 0 && st.nextElem < st.length) {
+        if (st.sink) {
+            if (st.nextElem - st.completed >= 128)
+                break;
+        } else if (st.isLoad) {
+            if (!srf_.outCanAccept(st.dataClient, st.nextElem))
+                break;
+        } else {
+            if (!srf_.inReady(st.dataClient, st.nextElem))
+                break;
+        }
+        uint32_t record = st.nextElem / st.mar.recordWords;
+        uint32_t w = st.nextElem % st.mar.recordWords;
+        Addr base;
+        if (!recordBase(st, record, base))
+            break;
+        Addr addr = base + w;
+        if (!st.isLoad) {
+            Word data = srf_.inConsume(st.dataClient, st.nextElem);
+            space_.writeWord(addr, data);
+        }
+        issueAccess(st, ag, addr, st.nextElem, now);
+        ++st.nextElem;
+        --budget;
+    }
+}
+
+void
+MemorySystem::tickChannels(uint64_t memCycle)
+{
+    for (Channel &ch : channels_) {
+        if (ch.queue.empty() || ch.busNextFreeMem > memCycle)
+            continue;
+        // FR-FCFS with a starvation guard: prefer a row hit among the
+        // oldest eight requests, but never skip the front more than 16
+        // times in a row.
+        size_t pick = 0;
+        if (ch.frontSkips < 16) {
+            size_t scan = std::min<size_t>(ch.queue.size(), 8);
+            for (size_t i = 0; i < scan; ++i) {
+                const DramReq &r = ch.queue[i];
+                Addr perChan = r.wordAddr / channels_.size();
+                uint64_t bankRow = perChan / cfg_.rowWords;
+                size_t bank = bankRow % ch.banks.size();
+                int64_t row = static_cast<int64_t>(bankRow /
+                                                   ch.banks.size());
+                if (ch.banks[bank].openRow == row &&
+                    ch.banks[bank].nextFreeMem <= memCycle) {
+                    pick = i;
+                    break;
+                }
+            }
+        }
+        ch.frontSkips = (pick == 0) ? 0 : ch.frontSkips + 1;
+        DramReq req = ch.queue[pick];
+        ch.queue.erase(ch.queue.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+
+        Addr perChan = req.wordAddr / channels_.size();
+        uint64_t bankRow = perChan / cfg_.rowWords;
+        Bank &bank = ch.banks[bankRow % ch.banks.size()];
+        int64_t row = static_cast<int64_t>(bankRow / ch.banks.size());
+
+        uint64_t start = std::max(memCycle, bank.nextFreeMem);
+        uint64_t cost;
+        if (bank.openRow == row) {
+            // The prototype bug only affects sequential (streaming)
+            // access patterns: spurious precharges between consecutive
+            // same-row accesses (section 3.3).
+            if (perChan == bank.lastPerChan + 1)
+                ++bank.seqHits;
+            else
+                bank.seqHits = 0;
+            if (cfg_.quirkPrechargeBug && bank.seqHits >= 24) {
+                cost = cfg_.tRp + cfg_.tRcd + cfg_.tCas;
+                bank.seqHits = 0;
+                ++stats_.bugPrecharges;
+            } else {
+                cost = 1;
+            }
+        } else {
+            cost = (bank.openRow < 0 ? 0 : cfg_.tRp) + cfg_.tRcd +
+                   cfg_.tCas;
+            bank.openRow = row;
+            bank.seqHits = 0;
+            ++stats_.rowMisses;
+        }
+        bank.lastPerChan = perChan;
+        uint64_t doneMem = start + cost;
+        bank.nextFreeMem = doneMem;
+        ch.busNextFreeMem = doneMem;
+        ++stats_.dramAccesses;
+        stats_.channelBusyMemCycles += cost;
+
+        AgState &st = ags_[req.ag];
+        Cycle readyCore = doneMem * cfg_.memClockDivider +
+                          cfg_.mcPipelineCycles;
+        Word data = req.isWrite ? 0 : space_.readWord(req.wordAddr);
+        st.deliveries.push({readyCore, req.elem, data});
+    }
+}
+
+void
+MemorySystem::tick(Cycle now)
+{
+    if (now % cfg_.memClockDivider == 0)
+        tickChannels(now / cfg_.memClockDivider);
+
+    for (size_t ag = 0; ag < ags_.size(); ++ag) {
+        AgState &st = ags_[ag];
+        if (!st.active)
+            continue;
+        generate(static_cast<int>(ag), now);
+        while (!st.deliveries.empty() &&
+               st.deliveries.top().ready <= now) {
+            Delivery d = st.deliveries.top();
+            st.deliveries.pop();
+            if (st.isLoad && !st.sink) {
+                srf_.outProduce(st.dataClient, d.elem, d.data);
+                ++stats_.wordsLoaded;
+            } else if (st.isLoad) {
+                ++stats_.wordsLoaded;
+            } else {
+                ++stats_.wordsStored;
+            }
+            ++st.completed;
+        }
+    }
+}
+
+} // namespace imagine

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The Imagine memory system: two address generators (AGs) feeding a
+ * memory controller with a small on-chip cache and four 32-bit 100 MHz
+ * SDRAM channels.
+ *
+ * - Each AG executes one stream load or store at a time.  In strided
+ *   mode it can generate several word addresses per cycle (burst
+ *   records); in indexed (gather/scatter) mode it is limited to one
+ *   address per cycle - which is why tiny-index-range loads saturate
+ *   "on-chip maximum AG bandwidth" rather than DRAM bandwidth
+ *   (section 3.3).
+ * - The controller cache is a small direct-mapped word cache; it
+ *   captures indexed accesses over ranges of a few words.
+ * - Channels model open-row state per bank with activate/precharge/CAS
+ *   timing and limited FR-FCFS reordering.  The prototype's precharge
+ *   bug (spurious precharges between same-row accesses, costing ~20%
+ *   of unit-stride bandwidth) is reproduced when
+ *   MachineConfig::quirkPrechargeBug is set.
+ */
+
+#ifndef IMAGINE_MEM_MEMORY_HH
+#define IMAGINE_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "isa/stream.hh"
+#include "mem/memspace.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+#include "srf/srf.hh"
+
+namespace imagine
+{
+
+/** Memory-system statistics. */
+struct MemStats
+{
+    uint64_t wordsLoaded = 0;
+    uint64_t wordsStored = 0;
+    uint64_t cacheHits = 0;
+    uint64_t dramAccesses = 0;
+    uint64_t rowMisses = 0;
+    uint64_t bugPrecharges = 0;
+    uint64_t channelBusyMemCycles = 0;
+};
+
+/** The complete off-chip memory path. */
+class MemorySystem
+{
+  public:
+    MemorySystem(const MachineConfig &cfg, Srf &srf);
+
+    MemorySpace &space() { return space_; }
+    const MemorySpace &space() const { return space_; }
+
+    // --- stream-op control (driven by the stream controller) -----------
+    bool agIdle(int ag) const { return !ags_[ag].active; }
+    /**
+     * Begin a stream load: DRAM -> SRF.
+     * @param idx optional SDR describing a gather index stream
+     */
+    void startLoad(int ag, const Mar &mar, const Sdr &dst,
+                   const Sdr *idx);
+    /** Begin a stream store: SRF -> DRAM. */
+    void startStore(int ag, const Mar &mar, const Sdr &src,
+                    const Sdr *idx);
+    /** Begin a sink load (microcode transfer): data is discarded. */
+    void startSinkLoad(int ag, Addr baseWord, uint32_t words);
+    /** True once all words transferred and drained. */
+    bool agDone(int ag) const;
+    /** Retire the finished op; releases SRF clients. */
+    void finish(int ag);
+
+    /** Advance one core cycle. */
+    void tick(Cycle now);
+
+    const MemStats &stats() const { return stats_; }
+    /** Peak words per core cycle the DRAM interface can move. */
+    double peakWordsPerCycle() const;
+
+  private:
+    struct Delivery
+    {
+        Cycle ready;
+        uint32_t elem;
+        Word data;
+        bool operator>(const Delivery &o) const { return ready > o.ready; }
+    };
+
+    struct DramReq
+    {
+        Addr wordAddr;
+        uint32_t elem;
+        uint8_t ag;
+        bool isWrite;
+        Cycle enqueuedMem;  ///< mem cycle for age-based priority
+    };
+
+    struct Bank
+    {
+        int64_t openRow = -1;
+        uint64_t nextFreeMem = 0;
+        uint32_t seqHits = 0;   ///< consecutive sequential hits (bug)
+        Addr lastPerChan = ~Addr(0);    ///< previous in-channel address
+    };
+
+    struct Channel
+    {
+        std::deque<DramReq> queue;
+        std::vector<Bank> banks;
+        uint64_t busNextFreeMem = 0;
+        uint32_t frontSkips = 0;    ///< starvation guard for FR-FCFS
+    };
+
+    struct AgState
+    {
+        bool active = false;
+        bool isLoad = false;
+        bool indexed = false;
+        bool sink = false;      ///< discard data (microcode load)
+        Mar mar;
+        int dataClient = -1;
+        int idxClient = -1;
+        uint32_t length = 0;        ///< total words
+        uint32_t nextElem = 0;      ///< next word address to generate
+        uint32_t completed = 0;     ///< words fully transferred
+        uint32_t curRecord = UINT32_MAX;
+        Addr curRecordBase = 0;
+        std::priority_queue<Delivery, std::vector<Delivery>,
+                            std::greater<Delivery>> deliveries;
+        Cycle startCycle = 0;
+    };
+
+    /** Generate addresses for one AG for this cycle. */
+    void generate(int ag, Cycle now);
+    /** Issue one word access into the cache/DRAM path. */
+    void issueAccess(AgState &st, int agIdx, Addr addr, uint32_t elem,
+                     Cycle now);
+    /** Advance all channels one memory cycle. */
+    void tickChannels(uint64_t memCycle);
+    /** Compute record base address for element; false if blocked. */
+    bool recordBase(AgState &st, uint32_t record, Addr &base);
+
+    const MachineConfig &cfg_;
+    Srf &srf_;
+    MemorySpace space_;
+    std::vector<AgState> ags_;
+    std::vector<Channel> channels_;
+    std::vector<int64_t> cacheTags_;    ///< direct-mapped MC cache
+    MemStats stats_;
+};
+
+} // namespace imagine
+
+#endif // IMAGINE_MEM_MEMORY_HH

@@ -1,0 +1,43 @@
+#include "mem/memspace.hh"
+
+namespace imagine
+{
+
+MemorySpace::Page &
+MemorySpace::page(Addr wordAddr) const
+{
+    Page &p = pages_[wordAddr / pageWords];
+    if (p.empty())
+        p.assign(pageWords, 0);
+    return p;
+}
+
+Word
+MemorySpace::readWord(Addr wordAddr) const
+{
+    return page(wordAddr)[wordAddr % pageWords];
+}
+
+void
+MemorySpace::writeWord(Addr wordAddr, Word w)
+{
+    page(wordAddr)[wordAddr % pageWords] = w;
+}
+
+void
+MemorySpace::writeWords(Addr wordAddr, const std::vector<Word> &words)
+{
+    for (size_t i = 0; i < words.size(); ++i)
+        writeWord(wordAddr + i, words[i]);
+}
+
+std::vector<Word>
+MemorySpace::readWords(Addr wordAddr, size_t count) const
+{
+    std::vector<Word> out(count);
+    for (size_t i = 0; i < count; ++i)
+        out[i] = readWord(wordAddr + i);
+    return out;
+}
+
+} // namespace imagine

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Functional backing store for the off-chip Imagine memory space
+ * (256 MB of SDRAM on the development board).  Pages are allocated
+ * lazily so sparse address use stays cheap.
+ */
+
+#ifndef IMAGINE_MEM_MEMSPACE_HH
+#define IMAGINE_MEM_MEMSPACE_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace imagine
+{
+
+/** Lazily-paged word-addressable memory image. */
+class MemorySpace
+{
+  public:
+    Word readWord(Addr wordAddr) const;
+    void writeWord(Addr wordAddr, Word w);
+
+    /** Bulk helpers for loading workload data. */
+    void writeWords(Addr wordAddr, const std::vector<Word> &words);
+    std::vector<Word> readWords(Addr wordAddr, size_t count) const;
+
+  private:
+    static constexpr Addr pageWords = 1 << 16;
+    using Page = std::vector<Word>;
+    mutable std::unordered_map<Addr, Page> pages_;
+
+    Page &page(Addr wordAddr) const;
+};
+
+} // namespace imagine
+
+#endif // IMAGINE_MEM_MEMSPACE_HH

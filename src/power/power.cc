@@ -1,0 +1,32 @@
+#include "power/power.hh"
+
+namespace imagine
+{
+
+double
+dynamicEnergy(const SystemActivity &act, const EnergyParams &p)
+{
+    double e = 0.0;
+    e += static_cast<double>(act.fpOps) * p.eFpOp;
+    e += static_cast<double>(act.intOps) * p.eIntOp;
+    e += static_cast<double>(act.issuedOps) * p.eIssue;
+    e += static_cast<double>(act.lrfWords) * p.eLrfWord;
+    e += static_cast<double>(act.srfWords) * p.eSrfWord;
+    e += static_cast<double>(act.spAccesses) * p.eSpAccess;
+    e += static_cast<double>(act.commWords) * p.eCommWord;
+    e += static_cast<double>(act.dramWords) * p.eDramWord;
+    e += static_cast<double>(act.hostInstrs) * p.eHostInstr;
+    return e;
+}
+
+double
+estimatePower(const SystemActivity &act, Cycle cycles,
+              const MachineConfig &cfg, const EnergyParams &p)
+{
+    if (cycles == 0)
+        return p.idleWatts;
+    double seconds = static_cast<double>(cycles) / cfg.coreClockHz;
+    return p.idleWatts + dynamicEnergy(act, p) / seconds;
+}
+
+} // namespace imagine

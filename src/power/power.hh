@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Activity-based power model.
+ *
+ * The prototype's power was measured at 1.5 V core / 200 MHz in the
+ * lab; this model reproduces those measurements from simulated activity
+ * counts.  Per-event energies are calibrated against the component
+ * micro-benchmarks of Table 1:
+ *
+ *   idle                      4.72 W
+ *   peak fp (7.96 GFLOPS)     6.88 W
+ *   peak int (25.4 GOPS)      5.79 W
+ *   inter-cluster sort        8.53 W
+ *   SRF copy (12.7 GB/s)      5.79 W
+ *   memory (1.58 GB/s)        5.42 W
+ *
+ * Given those anchors, application power (Tables 2-3) follows from each
+ * workload's own activity mix, as it did on the real chip.
+ */
+
+#ifndef IMAGINE_POWER_POWER_HH
+#define IMAGINE_POWER_POWER_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace imagine
+{
+
+/** Raw event counts a run accumulated. */
+struct SystemActivity
+{
+    uint64_t fpOps = 0;         ///< weighted floating-point ops
+    uint64_t intOps = 0;        ///< weighted integer/subword ops
+    uint64_t issuedOps = 0;     ///< VLIW slots issued (x8 lanes)
+    uint64_t lrfWords = 0;
+    uint64_t srfWords = 0;
+    uint64_t spAccesses = 0;
+    uint64_t commWords = 0;
+    uint64_t dramWords = 0;
+    uint64_t hostInstrs = 0;
+};
+
+/** Per-event energies (joules) plus constant idle power (watts). */
+struct EnergyParams
+{
+    double idleWatts = 4.72;
+    double eFpOp = 222e-12;
+    double eIntOp = 26e-12;
+    double eIssue = 16e-12;
+    double eLrfWord = 2.5e-12;
+    double eSrfWord = 332e-12;
+    double eSpAccess = 120e-12;
+    double eCommWord = 2.23e-9;
+    double eDramWord = 1.24e-9;
+    double eHostInstr = 4e-9;
+
+    /** The calibrated defaults (see file header). */
+    static EnergyParams calibrated() { return EnergyParams{}; }
+};
+
+/** Total energy of @p act in joules (excluding idle power). */
+double dynamicEnergy(const SystemActivity &act, const EnergyParams &p);
+
+/** Average power over @p cycles at the configured clock. */
+double estimatePower(const SystemActivity &act, Cycle cycles,
+                     const MachineConfig &cfg,
+                     const EnergyParams &p = EnergyParams::calibrated());
+
+} // namespace imagine
+
+#endif // IMAGINE_POWER_POWER_HH

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Machine configuration for the Imagine stream processor model.
+ *
+ * Two presets mirror the paper's two measurement vehicles:
+ *  - MachineConfig::devBoard(): the prototype on the dual-Imagine
+ *    development board, including its measured warts (memory-controller
+ *    precharge bug, stream-controller issue pipeline latency, ~2 MIPS
+ *    effective host-interface bandwidth).
+ *  - MachineConfig::isim(): the authors' cycle-accurate simulator, which
+ *    idealizes exactly those warts (Table 6 discussion, section 5.5).
+ */
+
+#ifndef IMAGINE_SIM_CONFIG_HH
+#define IMAGINE_SIM_CONFIG_HH
+
+#include "sim/types.hh"
+
+namespace imagine
+{
+
+/** All architecture and board parameters, defaulted to the prototype. */
+struct MachineConfig
+{
+    // ------------------------------------------------------------------
+    // Clocks
+    // ------------------------------------------------------------------
+    /** Core clock in Hz (prototype runs at 200 MHz). */
+    double coreClockHz = 200e6;
+    /** Core cycles per SDRAM cycle (100 MHz SDRAM -> 2). */
+    int memClockDivider = 2;
+
+    // ------------------------------------------------------------------
+    // Arithmetic clusters
+    // ------------------------------------------------------------------
+    int numAdders = 3;          ///< fp/int adders per cluster
+    int numMultipliers = 2;     ///< fp/int multipliers per cluster
+    int sbInPorts = 2;          ///< simultaneous input-stream reads/cycle
+    int sbOutPorts = 2;         ///< simultaneous output-stream writes/cycle
+    int scratchpadWords = 256;  ///< per-cluster scratchpad capacity
+    /** LRF capacity per cluster in words (9.7 KB total / 8 / 4B). */
+    int lrfWordsPerCluster = 304;
+
+    // Functional-unit latencies, in core cycles.
+    int latFpAdd = 4;       ///< fp add/sub/compare/min/max
+    int latFpMul = 4;       ///< fp multiply
+    int latDsq = 17;        ///< fp divide / square root result latency
+    int dsqOccupancy = 16;  ///< DSQ is not pipelined; busy cycles per op
+    int latIntAdd = 2;      ///< integer add/sub/logic/select/shift
+    int latIntMul = 4;      ///< integer multiply
+    int latSubword = 2;     ///< packed 8/16-bit media ops
+    int latSpRead = 2;      ///< scratchpad indexed read
+    int latSpWrite = 1;     ///< scratchpad indexed write
+    int latComm = 2;        ///< inter-cluster communication hop
+    int latSbRead = 2;      ///< stream-buffer (SRF) read into cluster
+    int latSbWrite = 1;     ///< stream-buffer write from cluster
+    int latMov = 1;         ///< register move / immediate materialize
+
+    /** Fixed micro-controller cost to start a kernel (decode, SB bind). */
+    int kernelStartupCycles = 12;
+    /** Fixed micro-controller cost to retire a kernel. */
+    int kernelShutdownCycles = 8;
+
+    // ------------------------------------------------------------------
+    // Stream register file
+    // ------------------------------------------------------------------
+    int srfSizeWords = 32 * 1024;       ///< 128 KB
+    int srfBandwidthWordsPerCycle = 16; ///< 12.8 GB/s @ 200 MHz
+    int streamBufferWords = 16;         ///< per-client FIFO depth
+
+    // ------------------------------------------------------------------
+    // Memory system
+    // ------------------------------------------------------------------
+    int numAddressGenerators = 2;
+    int numChannels = 4;        ///< 32-bit SDRAM channels
+    int banksPerChannel = 4;
+    int rowWords = 512;         ///< words per DRAM row (per channel/bank)
+    int tRcd = 3;               ///< activate-to-CAS, mem cycles
+    int tCas = 2;               ///< CAS-to-data, mem cycles
+    int tRp = 3;                ///< precharge, mem cycles
+    int mcPipelineCycles = 12;  ///< controller front-end latency, core cyc
+    int mcCacheWords = 64;      ///< on-chip controller cache capacity
+    /**
+     * The prototype's memory controller inserts unnecessary precharges
+     * between some same-row accesses, costing ~20% of unit-stride
+     * bandwidth (section 3.3).  ISIM does not model the bug.
+     */
+    bool quirkPrechargeBug = true;
+
+    // ------------------------------------------------------------------
+    // Microcode store
+    // ------------------------------------------------------------------
+    int ucodeStoreInstrs = 2048;    ///< capacity in VLIW instructions
+    int ucodeWordsPerInstr = 18;    ///< transfer size per instruction
+
+    // ------------------------------------------------------------------
+    // Host interface and stream controller
+    // ------------------------------------------------------------------
+    /** Effective host stream-instruction bandwidth, MIPS. */
+    double hostMips = 2.03;
+    int scoreboardSlots = 32;
+    /** Stream-controller issue overhead per stream instruction, cycles. */
+    int scIssueOverhead = 12;
+    /**
+     * Extra issue pipeline latency per kernel / memory stream
+     * instruction present in hardware but not modeled by ISIM
+     * (section 5.5).
+     */
+    int quirkIssueLatency = 16;
+    /** Host read-compute-write round trip for host dependencies. */
+    int hostRoundTripCycles = 900;
+    /**
+     * Extra host compute cycles per stream instruction when the full
+     * dispatcher runs application C++ between instructions instead of
+     * the lightweight playback dispatcher (section 2.3).
+     */
+    int nonPlaybackHostOverheadCycles = 60;
+    int numSdrs = 32;   ///< stream descriptor registers
+    int numMars = 8;    ///< memory address registers
+    int numUcrs = 32;   ///< micro-controller (kernel parameter) registers
+
+    // ------------------------------------------------------------------
+    // Derived quantities
+    // ------------------------------------------------------------------
+    /** Core cycles consumed by the host interface per stream instr. */
+    double hostCyclesPerInstr() const
+    {
+        return coreClockHz / (hostMips * 1e6);
+    }
+
+    /** Peak single-precision FLOP rate (adders + multipliers). */
+    double peakFlops() const
+    {
+        return (numAdders + numMultipliers) * numClusters * coreClockHz;
+    }
+
+    /** Peak packed-integer op rate (4x8-bit adds, 2x16-bit mults). */
+    double peakOps() const
+    {
+        return (4.0 * numAdders + 2.0 * numMultipliers) * numClusters *
+               coreClockHz;
+    }
+
+    /** Peak SRF bandwidth in bytes/s. */
+    double peakSrfBytes() const
+    {
+        return srfBandwidthWordsPerCycle * 4.0 * coreClockHz;
+    }
+
+    /** Peak DRAM bandwidth in bytes/s. */
+    double peakMemBytes() const
+    {
+        return numChannels * 4.0 * coreClockHz / memClockDivider;
+    }
+
+    /** Peak LRF bandwidth in words per cycle (section 2, figure 2). */
+    double peakLrfWordsPerCycle() const { return 272.0; }
+
+    // ------------------------------------------------------------------
+    // Presets
+    // ------------------------------------------------------------------
+    /** The prototype measured in the lab, warts and all. */
+    static MachineConfig
+    devBoard()
+    {
+        return MachineConfig{};
+    }
+
+    /** The authors' idealized cycle-accurate simulator (Table 6). */
+    static MachineConfig
+    isim()
+    {
+        MachineConfig cfg;
+        cfg.quirkPrechargeBug = false;
+        cfg.quirkIssueLatency = 0;
+        cfg.hostRoundTripCycles = 780;  // optimistic host model
+        return cfg;
+    }
+};
+
+} // namespace imagine
+
+#endif // IMAGINE_SIM_CONFIG_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * fatal()  - the *user* asked for something impossible (bad config,
+ *            malformed kernel); exits with an error code.
+ * panic()  - the *simulator* detected an internal inconsistency; aborts.
+ * warn()   - something is suspicious but simulation can continue.
+ * inform() - purely informational status output.
+ */
+
+#ifndef IMAGINE_SIM_LOG_HH
+#define IMAGINE_SIM_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace imagine
+{
+
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace imagine
+
+#define IMAGINE_FATAL(...) \
+    ::imagine::fatalImpl(__FILE__, __LINE__, ::imagine::strfmt(__VA_ARGS__))
+#define IMAGINE_PANIC(...) \
+    ::imagine::panicImpl(__FILE__, __LINE__, ::imagine::strfmt(__VA_ARGS__))
+#define IMAGINE_WARN(...) \
+    ::imagine::warnImpl(::imagine::strfmt(__VA_ARGS__))
+#define IMAGINE_INFORM(...) \
+    ::imagine::informImpl(::imagine::strfmt(__VA_ARGS__))
+
+/** Internal invariant check; active in all build types. */
+#define IMAGINE_ASSERT(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            IMAGINE_PANIC("assertion '%s' failed: %s", #cond,                \
+                          ::imagine::strfmt(__VA_ARGS__).c_str());           \
+    } while (0)
+
+#endif // IMAGINE_SIM_LOG_HH

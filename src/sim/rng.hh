@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workload synthesis.
+ *
+ * All synthetic inputs (images, matrices, index streams) are produced
+ * from explicitly-seeded instances of this generator, so every test and
+ * benchmark run is bit-for-bit reproducible.  xoshiro128** core.
+ */
+
+#ifndef IMAGINE_SIM_RNG_HH
+#define IMAGINE_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace imagine
+{
+
+/** Small, fast, seedable PRNG (xoshiro128**). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x1234abcd)
+    {
+        // SplitMix64 seeding to spread low-entropy seeds.
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = static_cast<uint32_t>(z ^ (z >> 31));
+        }
+    }
+
+    /** Next uniform 32-bit value. */
+    uint32_t
+    next()
+    {
+        auto rotl = [](uint32_t v, int k) {
+            return (v << k) | (v >> (32 - k));
+        };
+        uint32_t result = rotl(state_[1] * 5, 7) * 9;
+        uint32_t t = state_[1] << 9;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 11);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    uint32_t
+    below(uint32_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    uniform()
+    {
+        return (next() >> 8) * (1.0f / 16777216.0f);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+  private:
+    uint32_t state_[4];
+};
+
+} // namespace imagine
+
+#endif // IMAGINE_SIM_RNG_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the Imagine model.
+ *
+ * The machine is a 32-bit word machine: every LRF entry, SRF location,
+ * stream element and DRAM transfer is one 32-bit word.  Floating-point
+ * data is IEEE-754 single precision stored in the same word; subword
+ * (2x16-bit / 4x8-bit) media types are packed into the word.
+ */
+
+#ifndef IMAGINE_SIM_TYPES_HH
+#define IMAGINE_SIM_TYPES_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace imagine
+{
+
+/** One machine word: the unit of all register/stream/memory storage. */
+using Word = uint32_t;
+
+/** Simulated clock cycle count (core clock, 200 MHz by default). */
+using Cycle = uint64_t;
+
+/** Byte address into the Imagine (off-chip SDRAM) memory space. */
+using Addr = uint64_t;
+
+/** Number of SIMD arithmetic clusters; fixed by the architecture. */
+inline constexpr int numClusters = 8;
+
+/** Reinterpret a word as an IEEE-754 single-precision float. */
+inline float
+wordToFloat(Word w)
+{
+    float f;
+    std::memcpy(&f, &w, sizeof(f));
+    return f;
+}
+
+/** Reinterpret a float as a machine word. */
+inline Word
+floatToWord(float f)
+{
+    Word w;
+    std::memcpy(&w, &f, sizeof(w));
+    return w;
+}
+
+/** Signed view of a word (two's complement 32-bit integer). */
+inline int32_t
+wordToInt(Word w)
+{
+    int32_t i;
+    std::memcpy(&i, &w, sizeof(i));
+    return i;
+}
+
+/** Word view of a signed 32-bit integer. */
+inline Word
+intToWord(int32_t i)
+{
+    Word w;
+    std::memcpy(&w, &i, sizeof(w));
+    return w;
+}
+
+/** Extract 16-bit subword @p i (0 = low) as an unsigned value. */
+inline uint16_t
+sub16(Word w, int i)
+{
+    return static_cast<uint16_t>(w >> (16 * i));
+}
+
+/** Extract 8-bit subword @p i (0 = low byte). */
+inline uint8_t
+sub8(Word w, int i)
+{
+    return static_cast<uint8_t>(w >> (8 * i));
+}
+
+/** Pack two 16-bit halves into a word (h1 = high, h0 = low). */
+inline Word
+pack16(uint16_t h1, uint16_t h0)
+{
+    return (static_cast<Word>(h1) << 16) | h0;
+}
+
+/** Pack four bytes into a word (b3 = high byte). */
+inline Word
+pack8(uint8_t b3, uint8_t b2, uint8_t b1, uint8_t b0)
+{
+    return (static_cast<Word>(b3) << 24) | (static_cast<Word>(b2) << 16) |
+           (static_cast<Word>(b1) << 8) | b0;
+}
+
+} // namespace imagine
+
+#endif // IMAGINE_SIM_TYPES_HH

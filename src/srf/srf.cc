@@ -1,0 +1,192 @@
+#include "srf/srf.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace imagine
+{
+
+Srf::Srf(const MachineConfig &cfg)
+    : cfg_(cfg), size_(cfg.srfSizeWords), data_(cfg.srfSizeWords, 0)
+{
+}
+
+Word
+Srf::read(uint32_t wordAddr) const
+{
+    IMAGINE_ASSERT(wordAddr < size_, "SRF read out of range: %u", wordAddr);
+    return data_[wordAddr];
+}
+
+void
+Srf::write(uint32_t wordAddr, Word w)
+{
+    IMAGINE_ASSERT(wordAddr < size_, "SRF write out of range: %u",
+                   wordAddr);
+    data_[wordAddr] = w;
+}
+
+Srf::Client &
+Srf::at(int client)
+{
+    IMAGINE_ASSERT(client >= 0 &&
+                       client < static_cast<int>(clients_.size()) &&
+                       clients_[client].active,
+                   "bad SRF client handle %d", client);
+    return clients_[client];
+}
+
+const Srf::Client &
+Srf::at(int client) const
+{
+    return const_cast<Srf *>(this)->at(client);
+}
+
+int
+Srf::openIn(const Sdr &sdr, uint32_t minWindow)
+{
+    IMAGINE_ASSERT(sdr.srfOffset + sdr.length <= size_,
+                   "stream [%u, %u) exceeds SRF capacity", sdr.srfOffset,
+                   sdr.srfOffset + sdr.length);
+    Client c;
+    c.active = true;
+    c.isIn = true;
+    c.offset = sdr.srfOffset;
+    c.length = sdr.length;
+    c.windowWords = std::max(
+        static_cast<uint32_t>(cfg_.streamBufferWords) * numClusters,
+        minWindow);
+    c.window.assign(c.windowWords, false);
+    for (size_t i = 0; i < clients_.size(); ++i) {
+        if (!clients_[i].active) {
+            clients_[i] = std::move(c);
+            return static_cast<int>(i);
+        }
+    }
+    clients_.push_back(std::move(c));
+    return static_cast<int>(clients_.size() - 1);
+}
+
+int
+Srf::openOut(const Sdr &sdr, uint32_t minWindow)
+{
+    int id = openIn(sdr, minWindow);
+    clients_[id].isIn = false;
+    return id;
+}
+
+uint32_t
+Srf::close(int client)
+{
+    Client &c = at(client);
+    uint32_t produced = c.produced;
+    c = Client{};
+    return produced;
+}
+
+bool
+Srf::inReady(int client, uint32_t elem) const
+{
+    const Client &c = at(client);
+    return elem < c.fetched;
+}
+
+Word
+Srf::inConsume(int client, uint32_t elem)
+{
+    Client &c = at(client);
+    IMAGINE_ASSERT(c.isIn, "inConsume on output client");
+    IMAGINE_ASSERT(elem >= c.base && elem < c.fetched,
+                   "SRF consume of element %u outside window [%u, %u)",
+                   elem, c.base, c.fetched);
+    IMAGINE_ASSERT(!c.window[elem % c.windowWords],
+                   "SRF element %u consumed twice", elem);
+    Word w = data_[c.offset + elem];
+    c.window[elem % c.windowWords] = true;
+    while (c.base < c.fetched && c.window[c.base % c.windowWords]) {
+        c.window[c.base % c.windowWords] = false;
+        ++c.base;
+    }
+    return w;
+}
+
+bool
+Srf::outCanAccept(int client, uint32_t elem) const
+{
+    const Client &c = at(client);
+    return elem >= c.base && elem < c.base + c.windowWords;
+}
+
+void
+Srf::outProduce(int client, uint32_t elem, Word w)
+{
+    Client &c = at(client);
+    IMAGINE_ASSERT(!c.isIn, "outProduce on input client");
+    IMAGINE_ASSERT(outCanAccept(client, elem),
+                   "SRF produce of element %u outside window at base %u",
+                   elem, c.base);
+    IMAGINE_ASSERT(!c.window[elem % c.windowWords],
+                   "SRF element %u produced twice", elem);
+    IMAGINE_ASSERT(c.offset + elem < size_,
+                   "stream overflow: element %u of stream at %u", elem,
+                   c.offset);
+    data_[c.offset + elem] = w;
+    c.window[elem % c.windowWords] = true;
+    c.produced = std::max(c.produced, elem + 1);
+}
+
+uint32_t
+Srf::outAppendPos(int client) const
+{
+    return at(client).produced;
+}
+
+bool
+Srf::outDrained(int client) const
+{
+    const Client &c = at(client);
+    return c.base >= c.produced;
+}
+
+void
+Srf::tick()
+{
+    int tokens = cfg_.srfBandwidthWordsPerCycle;
+    bool any = false;
+    if (clients_.empty())
+        return;
+
+    bool progress = true;
+    while (tokens > 0 && progress) {
+        progress = false;
+        for (size_t k = 0; k < clients_.size() && tokens > 0; ++k) {
+            Client &c = clients_[(rrNext_ + k) % clients_.size()];
+            if (!c.active)
+                continue;
+            if (c.isIn) {
+                if (c.fetched < c.length &&
+                    c.fetched < c.base + c.windowWords) {
+                    ++c.fetched;
+                    --tokens;
+                    progress = any = true;
+                }
+            } else {
+                if (c.base < c.produced &&
+                    c.window[c.base % c.windowWords]) {
+                    c.window[c.base % c.windowWords] = false;
+                    ++c.base;
+                    --tokens;
+                    progress = any = true;
+                }
+            }
+        }
+    }
+    rrNext_ = (rrNext_ + 1) % std::max<size_t>(clients_.size(), 1);
+    stats_.wordsTransferred +=
+        static_cast<uint64_t>(cfg_.srfBandwidthWordsPerCycle - tokens);
+    if (any)
+        ++stats_.busyCycles;
+}
+
+} // namespace imagine

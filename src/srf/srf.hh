@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Stream register file (SRF): the 128 KB on-chip nexus of Imagine.
+ *
+ * All stream instructions operate on data in the SRF.  Clients (the
+ * eight clusters' stream ports and the two memory address generators)
+ * attach through stream buffers; the SRF array itself provides a fixed
+ * aggregate bandwidth (16 words/cycle = 12.8 GB/s at 200 MHz) that an
+ * arbiter shares round-robin among clients with outstanding demand.
+ *
+ * Modeling note: stream data lives in the SRF backing array the moment
+ * it is produced; the stream buffers model *availability and bandwidth*,
+ * not storage.  An input client exposes a sliding availability window
+ * (words the SRF has streamed into the buffer); an output client exposes
+ * a sliding space window (words not yet drained into the array).  This
+ * keeps functional state exact under software-pipelined access patterns
+ * where several loop iterations are in flight at once.
+ */
+
+#ifndef IMAGINE_SRF_SRF_HH
+#define IMAGINE_SRF_SRF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/stream.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace imagine
+{
+
+/** Aggregate SRF statistics. */
+struct SrfStats
+{
+    uint64_t wordsTransferred = 0;  ///< words crossing the SRF array port
+    uint64_t busyCycles = 0;        ///< cycles with at least one transfer
+};
+
+/** The stream register file with its stream-buffer clients. */
+class Srf
+{
+  public:
+    explicit Srf(const MachineConfig &cfg);
+
+    // --- functional backing-store access (also used by tests) ---------
+    Word read(uint32_t wordAddr) const;
+    void write(uint32_t wordAddr, Word w);
+    uint32_t sizeWords() const { return size_; }
+
+    // --- client lifecycle ---------------------------------------------
+    /**
+     * Open an input client: data flows SRF -> consumer.
+     * @param sdr stream location and length
+     * @param minWindow minimum buffer window in words; clients moving
+     *        wide records (record x 8 lanes per SIMD iteration) need a
+     *        window that covers at least one full iteration
+     * @return client handle
+     */
+    int openIn(const Sdr &sdr, uint32_t minWindow = 0);
+    /**
+     * Open an output client: data flows producer -> SRF.
+     * @param sdr stream location; length is the maximum (conditional
+     *        streams may close shorter)
+     */
+    int openOut(const Sdr &sdr, uint32_t minWindow = 0);
+    /** Release a client. Returns words actually produced (out clients). */
+    uint32_t close(int client);
+
+    // --- input-side consumer interface ---------------------------------
+    /** True when stream word @p elem has been fetched into the buffer. */
+    bool inReady(int client, uint32_t elem) const;
+    /** Consume stream word @p elem (must be inReady). */
+    Word inConsume(int client, uint32_t elem);
+
+    // --- output-side producer interface ---------------------------------
+    /** True when the buffer can accept stream word @p elem. */
+    bool outCanAccept(int client, uint32_t elem) const;
+    /** Produce stream word @p elem (must be accepted). */
+    void outProduce(int client, uint32_t elem, Word w);
+    /** Conditional-stream append position (next element index). */
+    uint32_t outAppendPos(int client) const;
+
+    /** Advance one cycle: the arbiter moves words between array/buffers. */
+    void tick();
+
+    /** True when every produced word has drained into the array. */
+    bool outDrained(int client) const;
+
+    const SrfStats &stats() const { return stats_; }
+
+  private:
+    struct Client
+    {
+        bool active = false;
+        bool isIn = false;
+        uint32_t offset = 0;        ///< SRF word offset of element 0
+        uint32_t length = 0;        ///< stream length in words
+        uint32_t base = 0;          ///< first un-retired element
+        uint32_t fetched = 0;       ///< in: elements streamed into buffer
+        uint32_t produced = 0;      ///< out: highest produced element + 1
+        std::vector<bool> window;   ///< consumed (in) / present (out)
+        uint32_t windowWords = 0;
+    };
+
+    Client &at(int client);
+    const Client &at(int client) const;
+
+    const MachineConfig &cfg_;
+    uint32_t size_;
+    std::vector<Word> data_;
+    std::vector<Client> clients_;
+    size_t rrNext_ = 0;             ///< round-robin arbitration cursor
+    SrfStats stats_;
+};
+
+} // namespace imagine
+
+#endif // IMAGINE_SRF_SRF_HH

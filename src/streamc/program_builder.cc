@@ -1,0 +1,563 @@
+#include "streamc/program_builder.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace imagine::streamc
+{
+
+// ---------------------------------------------------------------------
+// SrfAllocator
+// ---------------------------------------------------------------------
+
+SrfAllocator::SrfAllocator(uint32_t sizeWords)
+{
+    free_.push_back({0, sizeWords});
+}
+
+uint32_t
+SrfAllocator::alloc(uint32_t words)
+{
+    IMAGINE_ASSERT(words > 0, "zero-size SRF allocation");
+    for (size_t i = 0; i < free_.size(); ++i) {
+        if (free_[i].size >= words) {
+            uint32_t offset = free_[i].offset;
+            free_[i].offset += words;
+            free_[i].size -= words;
+            if (free_[i].size == 0)
+                free_.erase(free_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            live_[offset] = words;
+            return offset;
+        }
+    }
+    IMAGINE_FATAL("SRF exhausted: %u words requested, largest free block "
+                  "too small", words);
+}
+
+void
+SrfAllocator::free(uint32_t offset)
+{
+    auto it = live_.find(offset);
+    IMAGINE_ASSERT(it != live_.end(), "free of unallocated SRF offset %u",
+                   offset);
+    uint32_t size = it->second;
+    live_.erase(it);
+    free_.push_back({offset, size});
+    // Coalesce.
+    std::sort(free_.begin(), free_.end(),
+              [](const Block &a, const Block &b) {
+                  return a.offset < b.offset;
+              });
+    for (size_t i = 0; i + 1 < free_.size();) {
+        if (free_[i].offset + free_[i].size == free_[i + 1].offset) {
+            free_[i].size += free_[i + 1].size;
+            free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i) +
+                        1);
+        } else {
+            ++i;
+        }
+    }
+}
+
+uint32_t
+SrfAllocator::freeWords() const
+{
+    uint32_t total = 0;
+    for (const Block &b : free_)
+        total += b.size;
+    return total;
+}
+
+// ---------------------------------------------------------------------
+// IntervalTracker
+// ---------------------------------------------------------------------
+
+bool
+IntervalTracker::conflict(const Node &n, uint64_t lo, uint64_t hi,
+                          uint32_t stride, uint32_t rec)
+{
+    if (!(n.lo < hi && lo < n.hi))
+        return false;
+    // Same-stride sparse accesses conflict only when their record
+    // windows within one stride period intersect.  (Record windows are
+    // assumed not to wrap, which strided matrix-panel walks satisfy.)
+    if (stride > 1 && n.stride == stride && rec <= stride &&
+        n.rec <= stride) {
+        uint64_t ca = n.lo % stride;
+        uint64_t cb = lo % stride;
+        if (ca + n.rec <= cb || cb + rec <= ca)
+            return false;
+    }
+    return true;
+}
+
+void
+IntervalTracker::read(uint64_t lo, uint64_t hi, uint32_t instr,
+                      std::vector<uint32_t> &deps, uint32_t stride,
+                      uint32_t rec)
+{
+    for (Node &n : nodes_) {
+        if (conflict(n, lo, hi, stride, rec)) {
+            if (n.writer >= 0)
+                deps.push_back(static_cast<uint32_t>(n.writer));
+            n.readers.push_back(instr);
+        }
+    }
+}
+
+void
+IntervalTracker::write(uint64_t lo, uint64_t hi, uint32_t instr,
+                       std::vector<uint32_t> &deps, uint32_t stride,
+                       uint32_t rec)
+{
+    std::vector<Node> keep;
+    keep.reserve(nodes_.size() + 2);
+    for (Node &n : nodes_) {
+        if (!conflict(n, lo, hi, stride, rec)) {
+            keep.push_back(std::move(n));
+            continue;
+        }
+        if (n.writer >= 0)
+            deps.push_back(static_cast<uint32_t>(n.writer));
+        for (uint32_t r : n.readers)
+            deps.push_back(r);
+        if (n.stride > 1) {
+            // Sparse nodes are replaced only by an identically-shaped
+            // write; otherwise keep them for conservative ordering.
+            if (!(n.lo == lo && n.hi == hi && n.stride == stride &&
+                  n.rec == rec)) {
+                keep.push_back(std::move(n));
+            }
+            continue;
+        }
+        // Preserve non-overlapped remains of dense intervals.
+        if (n.lo < lo)
+            keep.push_back({n.lo, lo, n.stride, n.rec, n.writer,
+                            n.readers});
+        if (hi < n.hi)
+            keep.push_back({hi, n.hi, n.stride, n.rec, n.writer,
+                            n.readers});
+    }
+    keep.push_back({lo, hi, stride, rec, static_cast<int64_t>(instr),
+                    {}});
+    nodes_ = std::move(keep);
+}
+
+// ---------------------------------------------------------------------
+// StreamProgramBuilder
+// ---------------------------------------------------------------------
+
+StreamProgramBuilder::StreamProgramBuilder(const MachineConfig &cfg,
+                                           const KernelRegistry &kernels)
+    : cfg_(cfg), kernels_(kernels),
+      srfAlloc_(static_cast<uint32_t>(cfg.srfSizeWords)),
+      sdrWriter_(cfg.numSdrs, -1), marWriter_(cfg.numMars, -1),
+      ucrWriter_(cfg.numUcrs, -1), sdrUsers_(cfg.numSdrs),
+      marUsers_(cfg.numMars), ucrUsers_(cfg.numUcrs),
+      sdrRegKey_(cfg.numSdrs), marRegKey_(cfg.numMars),
+      sdrRegValid_(cfg.numSdrs, false), marRegValid_(cfg.numMars, false),
+      sdrLastUse_(cfg.numSdrs, 0), marLastUse_(cfg.numMars, 0),
+      sdrShadow_(cfg.numSdrs), marShadow_(cfg.numMars)
+{
+}
+
+uint32_t
+StreamProgramBuilder::emit(StreamInstr si)
+{
+    // Dedupe and drop self-references.
+    auto idx = static_cast<uint32_t>(prog_.instrs.size());
+    std::sort(si.deps.begin(), si.deps.end());
+    si.deps.erase(std::unique(si.deps.begin(), si.deps.end()),
+                  si.deps.end());
+    std::erase(si.deps, idx);
+    prog_.instrs.push_back(std::move(si));
+    return idx;
+}
+
+void
+StreamProgramBuilder::readReg(std::vector<uint32_t> &deps, int64_t writer,
+                              std::vector<uint32_t> &users,
+                              uint32_t instr)
+{
+    if (writer >= 0)
+        deps.push_back(static_cast<uint32_t>(writer));
+    users.push_back(instr);
+}
+
+void
+StreamProgramBuilder::writeRegDeps(std::vector<uint32_t> &deps,
+                                   int64_t writer,
+                                   const std::vector<uint32_t> &users)
+{
+    if (writer >= 0)
+        deps.push_back(static_cast<uint32_t>(writer));
+    for (uint32_t u : users)
+        deps.push_back(u);
+}
+
+int
+StreamProgramBuilder::sdr(uint32_t offset, uint32_t length)
+{
+    ++lruTick_;
+    uint64_t key = (static_cast<uint64_t>(offset) << 32) | length;
+    auto hit = sdrCache_.find(key);
+    if (hit != sdrCache_.end()) {
+        ++stats_.sdrReuses;
+        sdrLastUse_[static_cast<size_t>(hit->second)] = lruTick_;
+        return hit->second;
+    }
+    // LRU-allocate a register.
+    int reg = 0;
+    uint64_t best = UINT64_MAX;
+    for (int r = 0; r < cfg_.numSdrs; ++r) {
+        if (sdrLastUse_[r] < best) {
+            best = sdrLastUse_[r];
+            reg = r;
+        }
+    }
+    if (sdrRegValid_[reg])
+        sdrCache_.erase(sdrRegKey_[reg]);
+    sdrCache_[key] = reg;
+    sdrRegKey_[reg] = key;
+    sdrRegValid_[reg] = true;
+    sdrLastUse_[reg] = lruTick_;
+
+    StreamInstr si;
+    si.kind = StreamOpKind::SdrWrite;
+    si.regIndex = static_cast<uint8_t>(reg);
+    si.sdr = Sdr{offset, length};
+    auto idx = static_cast<uint32_t>(prog_.instrs.size());
+    writeRegDeps(si.deps, sdrWriter_[reg], sdrUsers_[reg]);
+    sdrWriter_[reg] = idx;
+    sdrUsers_[reg].clear();
+    sdrShadow_[reg] = si.sdr;
+    ++stats_.sdrWrites;
+    return emit(std::move(si)), reg;
+}
+
+int
+StreamProgramBuilder::marStride(Addr baseWord, uint32_t strideWords,
+                                uint32_t recordWords)
+{
+    ++lruTick_;
+    MarKey key{baseWord, strideWords, recordWords, 0};
+    auto hit = marCache_.find(key);
+    if (hit != marCache_.end()) {
+        ++stats_.marReuses;
+        marLastUse_[static_cast<size_t>(hit->second)] = lruTick_;
+        return hit->second;
+    }
+    int reg = 0;
+    uint64_t best = UINT64_MAX;
+    for (int r = 0; r < cfg_.numMars; ++r) {
+        if (marLastUse_[r] < best) {
+            best = marLastUse_[r];
+            reg = r;
+        }
+    }
+    if (marRegValid_[reg])
+        marCache_.erase(marRegKey_[reg]);
+    marCache_[key] = reg;
+    marRegKey_[reg] = key;
+    marRegValid_[reg] = true;
+    marLastUse_[reg] = lruTick_;
+
+    StreamInstr si;
+    si.kind = StreamOpKind::MarWrite;
+    si.regIndex = static_cast<uint8_t>(reg);
+    si.mar.baseWord = baseWord;
+    si.mar.mode = MarMode::Stride;
+    si.mar.strideWords = strideWords;
+    si.mar.recordWords = recordWords;
+    auto idx = static_cast<uint32_t>(prog_.instrs.size());
+    writeRegDeps(si.deps, marWriter_[reg], marUsers_[reg]);
+    marWriter_[reg] = idx;
+    marUsers_[reg].clear();
+    marShadow_[reg] = si.mar;
+    ++stats_.marWrites;
+    return emit(std::move(si)), reg;
+}
+
+int
+StreamProgramBuilder::marIndexed(Addr baseWord, uint32_t recordWords)
+{
+    ++lruTick_;
+    MarKey key{baseWord, 0, recordWords, 1};
+    auto hit = marCache_.find(key);
+    if (hit != marCache_.end()) {
+        ++stats_.marReuses;
+        marLastUse_[static_cast<size_t>(hit->second)] = lruTick_;
+        return hit->second;
+    }
+    int reg = 0;
+    uint64_t best = UINT64_MAX;
+    for (int r = 0; r < cfg_.numMars; ++r) {
+        if (marLastUse_[r] < best) {
+            best = marLastUse_[r];
+            reg = r;
+        }
+    }
+    if (marRegValid_[reg])
+        marCache_.erase(marRegKey_[reg]);
+    marCache_[key] = reg;
+    marRegKey_[reg] = key;
+    marRegValid_[reg] = true;
+    marLastUse_[reg] = lruTick_;
+
+    StreamInstr si;
+    si.kind = StreamOpKind::MarWrite;
+    si.regIndex = static_cast<uint8_t>(reg);
+    si.mar.baseWord = baseWord;
+    si.mar.mode = MarMode::Indexed;
+    si.mar.recordWords = recordWords;
+    auto idx = static_cast<uint32_t>(prog_.instrs.size());
+    writeRegDeps(si.deps, marWriter_[reg], marUsers_[reg]);
+    marWriter_[reg] = idx;
+    marUsers_[reg].clear();
+    marShadow_[reg] = si.mar;
+    ++stats_.marWrites;
+    return emit(std::move(si)), reg;
+}
+
+void
+StreamProgramBuilder::ucr(int index, Word value)
+{
+    StreamInstr si;
+    si.kind = StreamOpKind::UcrWrite;
+    si.regIndex = static_cast<uint8_t>(index);
+    si.value = value;
+    auto idx = static_cast<uint32_t>(prog_.instrs.size());
+    writeRegDeps(si.deps, ucrWriter_[index], ucrUsers_[index]);
+    ucrWriter_[index] = idx;
+    ucrUsers_[index].clear();
+    emit(std::move(si));
+}
+
+uint32_t
+StreamProgramBuilder::load(int marReg, int dataSdrReg, int idxSdrReg,
+                           std::string label)
+{
+    StreamInstr si;
+    si.kind = StreamOpKind::MemLoad;
+    si.marIndex = static_cast<uint8_t>(marReg);
+    si.dataSdr = static_cast<uint8_t>(dataSdrReg);
+    si.label = std::move(label);
+    auto idx = static_cast<uint32_t>(prog_.instrs.size());
+
+    const Mar &mar = marShadow_[marReg];
+    const Sdr &dst = sdrShadow_[dataSdrReg];
+    marLastUse_[marReg] = ++lruTick_;
+    sdrLastUse_[dataSdrReg] = ++lruTick_;
+    readReg(si.deps, marWriter_[marReg], marUsers_[marReg], idx);
+    readReg(si.deps, sdrWriter_[dataSdrReg], sdrUsers_[dataSdrReg], idx);
+    if (idxSdrReg >= 0) {
+        si.indexed = true;
+        si.indexSdr = static_cast<uint8_t>(idxSdrReg);
+        sdrLastUse_[idxSdrReg] = ++lruTick_;
+        readReg(si.deps, sdrWriter_[idxSdrReg], sdrUsers_[idxSdrReg],
+                idx);
+        const Sdr &is = sdrShadow_[idxSdrReg];
+        srfDeps_.read(is.srfOffset, is.srfOffset + is.length, idx,
+                      si.deps);
+        dramDeps_.read(mar.baseWord, mar.baseWord + (Addr(4) << 20), idx,
+                       si.deps);
+    } else {
+        uint32_t records = dst.length / std::max(mar.recordWords, 1u);
+        Addr span = records == 0
+                        ? 0
+                        : Addr(records - 1) * mar.strideWords +
+                              mar.recordWords;
+        dramDeps_.read(mar.baseWord, mar.baseWord + span, idx, si.deps,
+                       mar.strideWords, mar.recordWords);
+    }
+    srfDeps_.write(dst.srfOffset, dst.srfOffset + dst.length, idx,
+                   si.deps);
+    return emit(std::move(si));
+}
+
+uint32_t
+StreamProgramBuilder::store(int marReg, int dataSdrReg, int idxSdrReg,
+                            std::string label)
+{
+    StreamInstr si;
+    si.kind = StreamOpKind::MemStore;
+    si.marIndex = static_cast<uint8_t>(marReg);
+    si.dataSdr = static_cast<uint8_t>(dataSdrReg);
+    si.label = std::move(label);
+    auto idx = static_cast<uint32_t>(prog_.instrs.size());
+
+    const Mar &mar = marShadow_[marReg];
+    const Sdr &src = sdrShadow_[dataSdrReg];
+    marLastUse_[marReg] = ++lruTick_;
+    sdrLastUse_[dataSdrReg] = ++lruTick_;
+    readReg(si.deps, marWriter_[marReg], marUsers_[marReg], idx);
+    readReg(si.deps, sdrWriter_[dataSdrReg], sdrUsers_[dataSdrReg], idx);
+    srfDeps_.read(src.srfOffset, src.srfOffset + src.length, idx,
+                  si.deps);
+    if (idxSdrReg >= 0) {
+        si.indexed = true;
+        si.indexSdr = static_cast<uint8_t>(idxSdrReg);
+        sdrLastUse_[idxSdrReg] = ++lruTick_;
+        readReg(si.deps, sdrWriter_[idxSdrReg], sdrUsers_[idxSdrReg],
+                idx);
+        const Sdr &is = sdrShadow_[idxSdrReg];
+        srfDeps_.read(is.srfOffset, is.srfOffset + is.length, idx,
+                      si.deps);
+        dramDeps_.write(mar.baseWord, mar.baseWord + (Addr(4) << 20), idx,
+                        si.deps);
+    } else {
+        uint32_t records = src.length / std::max(mar.recordWords, 1u);
+        Addr span = records == 0
+                        ? 0
+                        : Addr(records - 1) * mar.strideWords +
+                              mar.recordWords;
+        dramDeps_.write(mar.baseWord, mar.baseWord + span, idx, si.deps,
+                        mar.strideWords, mar.recordWords);
+    }
+    return emit(std::move(si));
+}
+
+uint32_t
+StreamProgramBuilder::kernel(uint16_t kernelId,
+                             const std::vector<int> &inSdrs,
+                             const std::vector<int> &outSdrs,
+                             std::string label, uint32_t explicitTrip,
+                             bool truncateInputs)
+{
+    const kernelc::CompiledKernel &k = kernels_.at(kernelId);
+    IMAGINE_ASSERT(inSdrs.size() ==
+                       static_cast<size_t>(k.graph.numInStreams),
+                   "kernel %s: %zu input SDRs, expected %d", k.name(),
+                   inSdrs.size(), k.graph.numInStreams);
+    IMAGINE_ASSERT(outSdrs.size() ==
+                       static_cast<size_t>(k.graph.numOutStreams),
+                   "kernel %s: %zu output SDRs, expected %d", k.name(),
+                   outSdrs.size(), k.graph.numOutStreams);
+
+    StreamInstr si;
+    si.kind = StreamOpKind::KernelExec;
+    si.kernelId = kernelId;
+    si.explicitTrip = explicitTrip;
+    si.truncateInputs = truncateInputs;
+    si.label = std::move(label);
+    auto idx = static_cast<uint32_t>(prog_.instrs.size());
+
+    for (int r : inSdrs) {
+        si.inSdrs.push_back(static_cast<uint8_t>(r));
+        sdrLastUse_[r] = ++lruTick_;
+        readReg(si.deps, sdrWriter_[r], sdrUsers_[r], idx);
+        const Sdr &sd = sdrShadow_[r];
+        srfDeps_.read(sd.srfOffset, sd.srfOffset + sd.length, idx,
+                      si.deps);
+    }
+    for (size_t s = 0; s < outSdrs.size(); ++s) {
+        int r = outSdrs[s];
+        si.outSdrs.push_back(static_cast<uint8_t>(r));
+        sdrLastUse_[r] = ++lruTick_;
+        readReg(si.deps, sdrWriter_[r], sdrUsers_[r], idx);
+        const Sdr &sd = sdrShadow_[r];
+        srfDeps_.write(sd.srfOffset, sd.srfOffset + sd.length, idx,
+                       si.deps);
+        if (k.graph.outIsCond[s]) {
+            // The kernel rewrites this SDR's length at run time: treat
+            // it as the register's new writer and forget the cached
+            // descriptor.
+            if (sdrRegValid_[r]) {
+                sdrCache_.erase(sdrRegKey_[r]);
+                sdrRegValid_[r] = false;
+            }
+            sdrWriter_[r] = idx;
+            sdrUsers_[r].clear();
+        }
+    }
+    // Scalar parameters the kernel reads, results it writes.
+    for (const kernelc::Node &n : k.graph.nodes) {
+        if (n.op == Opcode::UcrRd) {
+            readReg(si.deps, ucrWriter_[n.payload], ucrUsers_[n.payload],
+                    idx);
+        } else if (n.op == Opcode::UcrWr) {
+            writeRegDeps(si.deps, ucrWriter_[n.payload],
+                         ucrUsers_[n.payload]);
+            ucrWriter_[n.payload] = idx;
+            ucrUsers_[n.payload].clear();
+        }
+    }
+    return emit(std::move(si));
+}
+
+uint32_t
+StreamProgramBuilder::restart(uint16_t kernelId,
+                              const std::vector<int> &inSdrs,
+                              const std::vector<int> &outSdrs,
+                              std::string label)
+{
+    uint32_t idx = kernel(kernelId, inSdrs, outSdrs, std::move(label));
+    prog_.instrs[idx].kind = StreamOpKind::Restart;
+    // A restart continues the previous invocation of the same kernel.
+    for (int64_t prev = static_cast<int64_t>(idx) - 1; prev >= 0;
+         --prev) {
+        const StreamInstr &p = prog_.instrs[static_cast<size_t>(prev)];
+        if ((p.kind == StreamOpKind::KernelExec ||
+             p.kind == StreamOpKind::Restart) &&
+            p.kernelId == kernelId) {
+            prog_.instrs[idx].deps.push_back(
+                static_cast<uint32_t>(prev));
+            break;
+        }
+    }
+    auto &deps = prog_.instrs[idx].deps;
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    return idx;
+}
+
+uint32_t
+StreamProgramBuilder::readScalar(int ucrIndex)
+{
+    StreamInstr si;
+    si.kind = StreamOpKind::RegRead;
+    si.regIndex = static_cast<uint8_t>(ucrIndex);
+    auto idx = static_cast<uint32_t>(prog_.instrs.size());
+    readReg(si.deps, ucrWriter_[ucrIndex], ucrUsers_[ucrIndex], idx);
+    return emit(std::move(si));
+}
+
+uint32_t
+StreamProgramBuilder::readStreamLength(int sdrReg)
+{
+    StreamInstr si;
+    si.kind = StreamOpKind::RegRead;
+    si.regIndex = static_cast<uint8_t>(sdrReg);
+    auto idx = static_cast<uint32_t>(prog_.instrs.size());
+    readReg(si.deps, sdrWriter_[sdrReg], sdrUsers_[sdrReg], idx);
+    return emit(std::move(si));
+}
+
+uint32_t
+StreamProgramBuilder::move()
+{
+    StreamInstr si;
+    si.kind = StreamOpKind::Move;
+    return emit(std::move(si));
+}
+
+uint32_t
+StreamProgramBuilder::sync()
+{
+    StreamInstr si;
+    si.kind = StreamOpKind::Sync;
+    // A fence on everything emitted so far (conservative but rare).
+    for (uint32_t i = 0; i < prog_.instrs.size(); ++i)
+        si.deps.push_back(i);
+    return emit(std::move(si));
+}
+
+StreamProgram
+StreamProgramBuilder::take()
+{
+    return std::move(prog_);
+}
+
+} // namespace imagine::streamc

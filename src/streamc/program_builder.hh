@@ -1,0 +1,195 @@
+/**
+ * @file
+ * StreamC: the stream-program authoring layer.
+ *
+ * The original stream compiler performed dependency analysis between
+ * kernels and stream loads/stores, allocated the SRF, and encoded
+ * dependencies into the stream instructions it emitted (section 2.3).
+ * StreamProgramBuilder does the same for programs written against this
+ * API:
+ *
+ *  - SRF space comes from a first-fit allocator; reusing freed space is
+ *    safe because the dependency tracker serializes conflicting uses.
+ *  - SDR/MAR descriptor registers are allocated with LRU reuse; a
+ *    repeated (offset, length) descriptor costs no host instruction
+ *    (the reuse the paper credits with keeping DEPTH under the host
+ *    bandwidth limit - Table 4).
+ *  - Dependencies (RAW/WAR/WAW over SRF ranges, DRAM ranges, and the
+ *    three register files) are computed automatically and encoded into
+ *    each instruction, ready for the scoreboard.
+ */
+
+#ifndef IMAGINE_STREAMC_PROGRAM_BUILDER_HH
+#define IMAGINE_STREAMC_PROGRAM_BUILDER_HH
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <string>
+#include <vector>
+
+#include "host/stream_controller.hh"
+#include "isa/stream.hh"
+#include "sim/config.hh"
+
+namespace imagine::streamc
+{
+
+/** Builder-side statistics (SDR reuse feeds Table 4). */
+struct BuildStats
+{
+    uint64_t sdrWrites = 0;
+    uint64_t sdrReuses = 0;
+    uint64_t marWrites = 0;
+    uint64_t marReuses = 0;
+};
+
+/** First-fit SRF space allocator. */
+class SrfAllocator
+{
+  public:
+    explicit SrfAllocator(uint32_t sizeWords);
+    /** Allocate @p words; panics if the SRF is exhausted. */
+    uint32_t alloc(uint32_t words);
+    /** Release a block returned by alloc(). */
+    void free(uint32_t offset);
+    uint32_t freeWords() const;
+
+  private:
+    struct Block
+    {
+        uint32_t offset;
+        uint32_t size;
+    };
+    std::vector<Block> free_;
+    std::map<uint32_t, uint32_t> live_;  ///< offset -> size
+};
+
+/**
+ * Range-based read/write dependency tracker.
+ *
+ * Accesses may carry a (stride, record) shape: two same-stride accesses
+ * whose record windows within a stride period are disjoint do not
+ * conflict even when their flat extents overlap - this is what lets
+ * disjoint column panels of a row-major matrix proceed independently.
+ */
+class IntervalTracker
+{
+  public:
+    /** Record a read; appends producer dependencies to @p deps. */
+    void read(uint64_t lo, uint64_t hi, uint32_t instr,
+              std::vector<uint32_t> &deps, uint32_t stride = 0,
+              uint32_t rec = 0);
+    /** Record a write; appends RAW/WAR/WAW dependencies to @p deps. */
+    void write(uint64_t lo, uint64_t hi, uint32_t instr,
+               std::vector<uint32_t> &deps, uint32_t stride = 0,
+               uint32_t rec = 0);
+
+  private:
+    struct Node
+    {
+        uint64_t lo, hi;            ///< [lo, hi)
+        uint32_t stride = 0;        ///< 0 = dense
+        uint32_t rec = 0;
+        int64_t writer = -1;
+        std::vector<uint32_t> readers;
+    };
+    static bool conflict(const Node &n, uint64_t lo, uint64_t hi,
+                         uint32_t stride, uint32_t rec);
+    std::vector<Node> nodes_;
+};
+
+/** Builds a StreamProgram with encoded dependencies. */
+class StreamProgramBuilder
+{
+  public:
+    StreamProgramBuilder(const MachineConfig &cfg,
+                         const KernelRegistry &kernels);
+
+    // --- SRF space ------------------------------------------------------
+    uint32_t alloc(uint32_t words) { return srfAlloc_.alloc(words); }
+    void release(uint32_t offset) { srfAlloc_.free(offset); }
+
+    // --- descriptors ------------------------------------------------------
+    /** SDR for a stream at @p offset of @p length words (reused). */
+    int sdr(uint32_t offset, uint32_t length);
+    /** MAR for strided access (reused). */
+    int marStride(Addr baseWord, uint32_t strideWords = 1,
+                  uint32_t recordWords = 1);
+    /** MAR for indexed gather/scatter (reused). */
+    int marIndexed(Addr baseWord, uint32_t recordWords = 1);
+    /** Write a kernel scalar parameter (always a host instruction). */
+    void ucr(int index, Word value);
+
+    // --- stream operations ----------------------------------------------
+    uint32_t load(int marReg, int dataSdrReg, int idxSdrReg = -1,
+                  std::string label = {});
+    uint32_t store(int marReg, int dataSdrReg, int idxSdrReg = -1,
+                   std::string label = {});
+    /**
+     * Kernel execution.
+     * @param truncateInputs round input stream lengths down to a whole
+     *        number of SIMD iterations (for consuming conditional
+     *        streams of data-dependent length)
+     */
+    uint32_t kernel(uint16_t kernelId, const std::vector<int> &inSdrs,
+                    const std::vector<int> &outSdrs,
+                    std::string label = {}, uint32_t explicitTrip = 0,
+                    bool truncateInputs = false);
+    /** Restart: continue the previous kernel on fresh streams. */
+    uint32_t restart(uint16_t kernelId, const std::vector<int> &inSdrs,
+                     const std::vector<int> &outSdrs,
+                     std::string label = {});
+    /** Host reads a kernel scalar result: a host dependency. */
+    uint32_t readScalar(int ucrIndex);
+    /** Host reads an SDR (e.g. a conditional stream's length). */
+    uint32_t readStreamLength(int sdrReg);
+    /** Register-to-register move (host data transfers). */
+    uint32_t move();
+    uint32_t sync();
+
+    /** Finish and take the program. */
+    StreamProgram take();
+
+    const BuildStats &stats() const { return stats_; }
+    size_t size() const { return prog_.instrs.size(); }
+
+  private:
+    uint32_t emit(StreamInstr si);
+    /** Dependency on the last writer of a register; records readership. */
+    void readReg(std::vector<uint32_t> &deps, int64_t writer,
+                 std::vector<uint32_t> &users, uint32_t instr);
+    /** Dependencies for overwriting a register (WAR + WAW). */
+    void writeRegDeps(std::vector<uint32_t> &deps, int64_t writer,
+                      const std::vector<uint32_t> &users);
+
+    const MachineConfig &cfg_;
+    const KernelRegistry &kernels_;
+    StreamProgram prog_;
+    SrfAllocator srfAlloc_;
+    IntervalTracker srfDeps_;
+    IntervalTracker dramDeps_;
+
+    // Register-file dependency state.
+    std::vector<int64_t> sdrWriter_, marWriter_, ucrWriter_;
+    std::vector<std::vector<uint32_t>> sdrUsers_, marUsers_, ucrUsers_;
+
+    // Descriptor reuse caches: descriptor key -> register.
+    using MarKey = std::tuple<Addr, uint32_t, uint32_t, int>;
+    std::map<uint64_t, int> sdrCache_;
+    std::map<MarKey, int> marCache_;
+    std::vector<uint64_t> sdrRegKey_;   ///< per-register reverse key
+    std::vector<MarKey> marRegKey_;
+    std::vector<bool> sdrRegValid_, marRegValid_;
+    uint64_t lruTick_ = 0;
+    std::vector<uint64_t> sdrLastUse_, marLastUse_;
+    /** SRF extent cached per SDR register for dependency tracking. */
+    std::vector<Sdr> sdrShadow_;
+    std::vector<Mar> marShadow_;
+
+    BuildStats stats_;
+};
+
+} // namespace imagine::streamc
+
+#endif // IMAGINE_STREAMC_PROGRAM_BUILDER_HH

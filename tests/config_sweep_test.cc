@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Property tests across machine configurations: the compiler and
+ * engine must stay functionally correct (bit-exact against golden) for
+ * any sane combination of unit counts, latencies, buffer sizes and
+ * bandwidths - and performance must respond monotonically where the
+ * architecture says it should.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "kernels/conv.hh"
+#include "kernels/sad.hh"
+#include "sim/rng.hh"
+
+using namespace imagine;
+using namespace imagine::kernels;
+
+namespace
+{
+
+/** Run conv7x7 end-to-end under @p cfg; validate against golden. */
+RunResult
+convRun(const MachineConfig &cfg, bool *ok)
+{
+    const std::array<int16_t, 7> c7{1, 2, 3, 4, 3, 2, 1};
+    ImagineSystem sys(cfg);
+    uint16_t kid = sys.registerKernel(conv7x7(c7, c7, 8));
+    const uint32_t n = 1024;
+    Rng rng(5);
+    std::vector<std::vector<Word>> rows(7);
+    for (auto &r : rows) {
+        r.resize(n);
+        for (auto &w : r)
+            w = pack16(static_cast<uint16_t>(rng.below(256)),
+                       static_cast<uint16_t>(rng.below(256)));
+    }
+    for (int t = 0; t < 7; ++t)
+        sys.memory().writeWords(static_cast<Addr>(t) * n, rows[t]);
+
+    auto b = sys.newProgram();
+    std::vector<int> ins;
+    for (int t = 0; t < 7; ++t) {
+        uint32_t off = b.alloc(n);
+        b.load(b.marStride(static_cast<Addr>(t) * n), b.sdr(off, n));
+        ins.push_back(b.sdr(off, n));
+    }
+    uint32_t outOff = b.alloc(n);
+    b.kernel(kid, ins, {b.sdr(outOff, n)});
+    b.store(b.marStride(100000), b.sdr(outOff, n));
+    StreamProgram prog = b.take();
+    RunResult r = sys.run(prog);
+
+    // Golden per lane strip.
+    std::vector<int16_t> cv(c7.begin(), c7.end());
+    *ok = true;
+    for (int lane = 0; lane < numClusters && *ok; ++lane) {
+        std::vector<std::vector<Word>> strips(7);
+        for (int t = 0; t < 7; ++t)
+            for (uint32_t i = lane; i < n; i += numClusters)
+                strips[t].push_back(rows[t][i]);
+        auto golden = convSeparableGoldenStrip(strips, cv, cv, 8);
+        for (size_t i = 0; i < golden.size(); ++i) {
+            if (sys.memory().readWord(100000 + i * numClusters +
+                                      static_cast<Addr>(lane)) !=
+                golden[i]) {
+                *ok = false;
+                break;
+            }
+        }
+    }
+    return r;
+}
+
+struct SweepCase
+{
+    const char *name;
+    MachineConfig cfg;
+};
+
+std::vector<SweepCase>
+sweepCases()
+{
+    std::vector<SweepCase> cases;
+    auto base = MachineConfig::devBoard();
+    cases.push_back({"baseline", base});
+    {
+        auto c = base;
+        c.numAdders = 1;
+        cases.push_back({"one_adder", c});
+    }
+    {
+        auto c = base;
+        c.numAdders = 6;
+        c.numMultipliers = 4;
+        cases.push_back({"wide_cluster", c});
+    }
+    {
+        auto c = base;
+        c.sbInPorts = 1;
+        c.sbOutPorts = 1;
+        cases.push_back({"one_sb_port", c});
+    }
+    {
+        auto c = base;
+        c.latFpAdd = 7;
+        c.latFpMul = 9;
+        c.latIntMul = 6;
+        cases.push_back({"slow_fus", c});
+    }
+    {
+        auto c = base;
+        c.srfBandwidthWordsPerCycle = 4;
+        cases.push_back({"narrow_srf", c});
+    }
+    {
+        auto c = base;
+        c.streamBufferWords = 4;
+        cases.push_back({"tiny_stream_buffers", c});
+    }
+    {
+        auto c = base;
+        c.numChannels = 2;
+        cases.push_back({"two_channels", c});
+    }
+    {
+        auto c = base;
+        c.scoreboardSlots = 2;
+        cases.push_back({"tiny_scoreboard", c});
+    }
+    {
+        auto c = base;
+        c.hostMips = 0.25;
+        cases.push_back({"slow_host", c});
+    }
+    {
+        auto c = base;
+        c.latSubword = 5;
+        c.latComm = 6;
+        cases.push_back({"slow_media_ops", c});
+    }
+    {
+        auto c = MachineConfig::isim();
+        cases.push_back({"isim", c});
+    }
+    return cases;
+}
+
+class ConfigSweepTest : public ::testing::TestWithParam<int>
+{
+};
+
+} // namespace
+
+TEST_P(ConfigSweepTest, ConvStaysBitExact)
+{
+    SweepCase sc = sweepCases()[static_cast<size_t>(GetParam())];
+    bool ok = false;
+    RunResult r = convRun(sc.cfg, &ok);
+    EXPECT_TRUE(ok) << "config " << sc.name;
+    EXPECT_GT(r.gops, 0.0);
+    EXPECT_EQ(r.breakdown.total(), r.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ConfigSweepTest,
+                         ::testing::Range(
+                             0, static_cast<int>(sweepCases().size())));
+
+TEST(ConfigSweepTest, MoreAddersNeverHurt)
+{
+    MachineConfig narrow = MachineConfig::devBoard();
+    narrow.numAdders = 1;
+    bool okN = false, okW = false;
+    Cycle cn = convRun(narrow, &okN).cycles;
+    Cycle cw = convRun(MachineConfig::devBoard(), &okW).cycles;
+    EXPECT_TRUE(okN && okW);
+    EXPECT_GT(cn, cw);
+}
+
+TEST(ConfigSweepTest, FasterUnitsNeverHurt)
+{
+    MachineConfig slow = MachineConfig::devBoard();
+    slow.latFpAdd = 9;
+    slow.latSubword = 6;
+    slow.latIntMul = 9;
+    bool okS = false, okF = false;
+    Cycle cs = convRun(slow, &okS).cycles;
+    Cycle cf = convRun(MachineConfig::devBoard(), &okF).cycles;
+    EXPECT_TRUE(okS && okF);
+    EXPECT_GE(cs, cf);
+}
+
+TEST(ConfigSweepTest, SadSearchSurvivesNarrowSrf)
+{
+    // The fused DEPTH kernel under a 4-words/cycle SRF: correctness via
+    // the lockstep stall path (heavy contention), not just timing.
+    MachineConfig cfg = MachineConfig::devBoard();
+    cfg.srfBandwidthWordsPerCycle = 4;
+    ImagineSystem sys(cfg);
+    uint16_t kid = sys.registerKernel(sadSearch());
+    const uint32_t n = 512;
+    Rng rng(9);
+    std::vector<std::vector<Word>> ins(14);
+    for (auto &v : ins) {
+        v.resize(n);
+        for (auto &w : v)
+            w = pack16(static_cast<uint16_t>(rng.below(256)),
+                       static_cast<uint16_t>(rng.below(256)));
+    }
+    std::vector<Word> best(2 * n);
+    for (uint32_t i = 0; i < n; ++i) {
+        best[2 * i] = pack16(0x7fff, 0x7fff);
+        best[2 * i + 1] = 0;
+    }
+
+    Addr mem = 0;
+    auto b = sys.newProgram();
+    std::vector<int> sdrs;
+    for (auto &v : ins) {
+        sys.memory().writeWords(mem, v);
+        uint32_t off = b.alloc(n);
+        b.load(b.marStride(mem), b.sdr(off, n));
+        sdrs.push_back(b.sdr(off, n));
+        mem += n;
+    }
+    sys.memory().writeWords(mem, best);
+    uint32_t bestOff = b.alloc(2 * n);
+    b.load(b.marStride(mem), b.sdr(bestOff, 2 * n));
+    b.ucr(0, 6);
+    sdrs.push_back(b.sdr(bestOff, 2 * n));
+    b.kernel(kid, sdrs, {b.sdr(bestOff, 2 * n)});    // in place
+    b.store(b.marStride(200000), b.sdr(bestOff, 2 * n));
+    StreamProgram prog = b.take();
+    RunResult r = sys.run(prog);
+    EXPECT_GT(r.cluster.stallCycles, 0u);   // contention did happen
+
+    // Golden: box SAD per lane + record update.
+    std::vector<Word> sad(n);
+    for (int lane = 0; lane < numClusters; ++lane) {
+        std::vector<std::vector<Word>> l(7), rr(7);
+        for (int t = 0; t < 7; ++t)
+            for (uint32_t i = static_cast<uint32_t>(lane); i < n;
+                 i += numClusters) {
+                l[t].push_back(ins[t][i]);
+                rr[t].push_back(ins[7 + t][i]);
+            }
+        auto laneSad = blockSad7x7GoldenStrip(l, rr);
+        for (size_t i = 0; i < laneSad.size(); ++i)
+            sad[i * numClusters + static_cast<size_t>(lane)] =
+                laneSad[i];
+    }
+    auto expect = sadUpdateGolden(sad, best, 6);
+    auto got = sys.memory().readWords(200000, 2 * n);
+    EXPECT_EQ(got, expect);
+}

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Tests for the KernelC layer: graph capture, verification, list
+ * scheduling and iterative modulo scheduling.  Includes property-style
+ * checks that every produced schedule respects dependences and never
+ * oversubscribes a functional unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+#include "kernelc/dfg.hh"
+#include "kernelc/schedule.hh"
+#include "sim/rng.hh"
+
+using namespace imagine;
+using namespace imagine::kernelc;
+
+namespace
+{
+
+/** Resolve through Acc pseudo-nodes, mirroring the scheduler. */
+std::pair<uint32_t, int>
+resolve(const KernelGraph &g, uint32_t id)
+{
+    int dist = 0;
+    while (g.nodes[id].op == Opcode::Acc) {
+        id = g.nodes[id].in[1];
+        ++dist;
+    }
+    return {id, dist};
+}
+
+/** Check resource legality + dataflow legality of a loop schedule. */
+void
+checkLoopSchedule(const CompiledKernel &k, const MachineConfig &cfg)
+{
+    const KernelGraph &g = k.graph;
+    const LoopSchedule &ls = k.loop;
+    ASSERT_GE(ls.ii, 1);
+
+    std::map<uint32_t, const ScheduledOp *> at;
+    for (const ScheduledOp &s : ls.ops)
+        at[s.node] = &s;
+
+    // Every scheduled loop node appears exactly once.
+    size_t expect = 0;
+    for (uint32_t v = 0; v < g.nodes.size(); ++v) {
+        if (g.nodes[v].region == Region::Loop && isScheduled(g.nodes[v].op))
+            ++expect;
+    }
+    EXPECT_EQ(ls.ops.size(), expect);
+
+    // Modulo resource usage.
+    std::map<std::tuple<int, int, int>, int> used;  // (class, slot, unit)
+    for (const ScheduledOp &s : ls.ops) {
+        const Node &n = g.nodes[s.node];
+        FuClass cls = opInfo(n.op).cls;
+        if (cls == FuClass::None)
+            continue;
+        EXPECT_LT(s.unit, unitsPerCluster(cls, cfg));
+        int occ = opOccupancy(n.op, cfg);
+        for (int j = 0; j < occ; ++j) {
+            auto key = std::make_tuple(static_cast<int>(cls),
+                                       (s.time + j) % ls.ii, s.unit);
+            EXPECT_EQ(used.count(key), 0u)
+                << "unit double-booked in kernel " << g.name;
+            used[key] = static_cast<int>(s.node);
+        }
+    }
+
+    // Dataflow: consumer no earlier than producer completion (modulo
+    // iteration distance through accumulators).
+    for (const ScheduledOp &s : ls.ops) {
+        const Node &n = g.nodes[s.node];
+        for (int kIn = 0; kIn < n.numIn; ++kIn) {
+            auto [p, dist] = resolve(g, n.in[kIn]);
+            const Node &pn = g.nodes[p];
+            if (pn.region != Region::Loop || !isScheduled(pn.op))
+                continue;
+            auto it = at.find(p);
+            ASSERT_NE(it, at.end());
+            EXPECT_GE(s.time, it->second->time + opLatency(pn.op, cfg) -
+                                  ls.ii * dist)
+                << "dependence violated in kernel " << g.name;
+        }
+    }
+}
+
+/** Simple saxpy-style kernel: out = a*x + y. */
+KernelGraph
+makeSaxpy()
+{
+    KernelBuilder kb("saxpy");
+    Val a = kb.ucr(0);
+    int sx = kb.addInput();
+    int sy = kb.addInput();
+    int so = kb.addOutput();
+    kb.beginLoop();
+    Val x = kb.read(sx);
+    Val y = kb.read(sy);
+    kb.write(so, kb.fadd(kb.fmul(a, x), y));
+    kb.endLoop();
+    return kb.finish();
+}
+
+} // namespace
+
+TEST(BuilderTest, CapturesRegionsAndStreams)
+{
+    KernelGraph g = makeSaxpy();
+    EXPECT_EQ(g.numInStreams, 2);
+    EXPECT_EQ(g.numOutStreams, 1);
+    EXPECT_EQ(g.inRec[0], 1);
+    EXPECT_EQ(g.inRec[1], 1);
+    EXPECT_EQ(g.outRec[0], 1);
+    int loopNodes = 0, proNodes = 0;
+    for (const Node &n : g.nodes) {
+        if (n.region == Region::Loop)
+            ++loopNodes;
+        else if (n.region == Region::Prologue)
+            ++proNodes;
+    }
+    EXPECT_EQ(loopNodes, 5);    // 2 reads, fmul, fadd, out
+    EXPECT_EQ(proNodes, 1);     // the UCR parameter
+}
+
+TEST(BuilderTest, RecordWordsCountReads)
+{
+    KernelBuilder kb("rec");
+    int s = kb.addInput();
+    int o = kb.addOutput();
+    kb.beginLoop();
+    Val a = kb.read(s);
+    Val b = kb.read(s);
+    Val c = kb.read(s);
+    kb.write(o, kb.fadd(kb.fadd(a, b), c));
+    kb.endLoop();
+    KernelGraph g = kb.finish();
+    EXPECT_EQ(g.inRec[0], 3);
+    // Element slots assigned in order.
+    int seen = 0;
+    for (const Node &n : g.nodes)
+        if (n.op == Opcode::In) {
+            EXPECT_EQ(n.elemIdx, seen++);
+        }
+}
+
+TEST(BuilderTest, ImmediatesAreLoopInvariant)
+{
+    KernelBuilder kb("imm");
+    int s = kb.addInput();
+    int o = kb.addOutput();
+    kb.beginLoop();
+    Val two = kb.immF(2.0f);    // created inside the loop body...
+    kb.write(o, kb.fmul(kb.read(s), two));
+    kb.endLoop();
+    KernelGraph g = kb.finish();
+    for (const Node &n : g.nodes)
+        if (n.op == Opcode::Imm) {
+            EXPECT_EQ(n.region, Region::Prologue);  // ...but hoisted
+        }
+}
+
+TEST(BuilderTest, RejectsUnsetAccumulator)
+{
+    KernelBuilder kb("badacc");
+    int s = kb.addInput();
+    kb.addOutput();
+    kb.beginLoop();
+    Val init = kb.immF(0.0f);
+    kb.accum(init);
+    kb.read(s);
+    EXPECT_THROW(kb.endLoop(), std::logic_error);
+}
+
+TEST(BuilderTest, RejectsReadOutsideLoop)
+{
+    KernelBuilder kb("badread");
+    int s = kb.addInput();
+    EXPECT_THROW(kb.read(s), std::logic_error);
+}
+
+TEST(BuilderTest, RejectsCondWriteToPlainStream)
+{
+    KernelBuilder kb("badcond");
+    int s = kb.addInput();
+    int o = kb.addOutput(/*conditional=*/false);
+    kb.beginLoop();
+    Val v = kb.read(s);
+    EXPECT_THROW(kb.writeCond(o, v, v), std::logic_error);
+}
+
+TEST(ScheduleTest, SaxpyAchievesIiOne)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(makeSaxpy(), cfg);
+    // 2 SbIn reads over 2 ports, 1 add over 3 adders, 1 mul over 2:
+    // nothing constrains II above 1.
+    EXPECT_EQ(k.loop.ii, 1);
+    checkLoopSchedule(k, cfg);
+    EXPECT_EQ(k.loopMix.arithOps, 2u);
+    EXPECT_EQ(k.loopMix.fpOps, 2u);
+}
+
+TEST(ScheduleTest, AdderPressureSetsIi)
+{
+    KernelBuilder kb("adds");
+    int s = kb.addInput();
+    int o = kb.addOutput();
+    kb.beginLoop();
+    Val v = kb.read(s);
+    // Seven dependent-free adds: ResMII = ceil(7/3) = 3.
+    Val sum = kb.fadd(v, kb.immF(1.0f));
+    for (int i = 0; i < 6; ++i)
+        sum = kb.fadd(sum, kb.immF(float(i)));
+    kb.write(o, sum);
+    kb.endLoop();
+    MachineConfig cfg;
+    CompiledKernel k = compile(kb.finish(), cfg);
+    EXPECT_GE(k.loop.ii, 3);
+    checkLoopSchedule(k, cfg);
+}
+
+TEST(ScheduleTest, DsqOccupancySetsIi)
+{
+    KernelBuilder kb("divs");
+    int s = kb.addInput();
+    int o = kb.addOutput();
+    kb.beginLoop();
+    Val v = kb.read(s);
+    kb.write(o, kb.fdiv(kb.immF(1.0f), v));
+    kb.endLoop();
+    MachineConfig cfg;
+    CompiledKernel k = compile(kb.finish(), cfg);
+    // The DSQ is not pipelined: one divide per iteration forces
+    // II >= dsqOccupancy.
+    EXPECT_GE(k.loop.ii, cfg.dsqOccupancy);
+    checkLoopSchedule(k, cfg);
+}
+
+TEST(ScheduleTest, AccumulatorRecurrenceSetsIi)
+{
+    KernelBuilder kb("reduce");
+    int s = kb.addInput();
+    kb.addOutput();
+    kb.beginLoop();
+    Val acc = kb.accum(kb.immF(0.0f));
+    Val next = kb.fadd(acc, kb.read(s));
+    kb.accumSet(acc, next);
+    kb.endLoop();
+    kb.write(0, acc);
+    MachineConfig cfg;
+    CompiledKernel k = compile(kb.finish(), cfg);
+    // acc -> fadd -> acc recurrence with distance 1 and fp add latency 4.
+    EXPECT_GE(k.loop.ii, cfg.latFpAdd);
+    checkLoopSchedule(k, cfg);
+}
+
+TEST(ScheduleTest, UnrolledReductionBeatsRecurrence)
+{
+    // Four-way unrolled accumulation: recurrence II stays 4 but the
+    // kernel now retires 4 elements per iteration.
+    KernelBuilder kb("reduce4");
+    int s = kb.addInput();
+    kb.addOutput();
+    kb.beginLoop();
+    Val acc[4];
+    Val next[4];
+    for (auto &a : acc)
+        a = kb.accum(kb.immF(0.0f));
+    for (int i = 0; i < 4; ++i) {
+        next[i] = kb.fadd(acc[i], kb.read(s));
+        kb.accumSet(acc[i], next[i]);
+    }
+    kb.endLoop();
+    kb.write(0, kb.fadd(kb.fadd(acc[0], acc[1]), kb.fadd(acc[2], acc[3])));
+    MachineConfig cfg;
+    CompiledKernel k = compile(kb.finish(), cfg);
+    checkLoopSchedule(k, cfg);
+    // 4 elements per iteration at II <= 4+slack beats II=4 at 1 element.
+    EXPECT_LE(k.loop.ii, 6);
+    EXPECT_EQ(k.graph.inRec[0], 4);
+}
+
+TEST(ScheduleTest, EpilogueScheduled)
+{
+    KernelBuilder kb("epi");
+    int s = kb.addInput();
+    kb.addOutput();
+    kb.beginLoop();
+    Val acc = kb.accum(kb.immF(0.0f));
+    kb.accumSet(acc, kb.fadd(acc, kb.read(s)));
+    kb.endLoop();
+    Val half = kb.fmul(acc, kb.immF(0.5f));
+    kb.write(0, half);
+    kb.ucrOut(1, half);
+    MachineConfig cfg;
+    CompiledKernel k = compile(kb.finish(), cfg);
+    EXPECT_EQ(k.epilogue.ops.size(), 3u);   // fmul, out, ucrwr
+    EXPECT_GT(k.epilogue.length, 0);
+    EXPECT_EQ(k.graph.outEpilogueWords[0], 1);
+}
+
+TEST(ScheduleTest, StreamReadsStayInElementOrder)
+{
+    KernelBuilder kb("order");
+    int s = kb.addInput();
+    int o = kb.addOutput();
+    kb.beginLoop();
+    Val a = kb.read(s);
+    Val b = kb.read(s);
+    Val c = kb.read(s);
+    Val d = kb.read(s);
+    kb.write(o, kb.fadd(kb.fadd(a, b), kb.fadd(c, d)));
+    kb.endLoop();
+    MachineConfig cfg;
+    CompiledKernel k = compile(kb.finish(), cfg);
+    checkLoopSchedule(k, cfg);
+    // Reads must issue in elemIdx order.
+    std::vector<int> t(4, -1);
+    for (const ScheduledOp &sop : k.loop.ops) {
+        const Node &n = k.graph.nodes[sop.node];
+        if (n.op == Opcode::In)
+            t[n.elemIdx] = sop.time;
+    }
+    for (int i = 1; i < 4; ++i)
+        EXPECT_LE(t[i - 1], t[i]);
+}
+
+TEST(ScheduleTest, UcodeFootprintPositive)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(makeSaxpy(), cfg);
+    EXPECT_GT(k.ucodeInstrs, 8);
+    EXPECT_LT(k.ucodeInstrs, cfg.ucodeStoreInstrs);
+}
+
+// ---------------------------------------------------------------------
+// Property test: random dataflow graphs always schedule legally.
+// ---------------------------------------------------------------------
+
+class RandomKernelTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomKernelTest, SchedulesAreAlwaysLegal)
+{
+    Rng rng(GetParam());
+    KernelBuilder kb("random");
+    int s = kb.addInput();
+    int o = kb.addOutput();
+    kb.beginLoop();
+
+    std::vector<Val> pool;
+    pool.push_back(kb.read(s));
+    int reads = 1 + static_cast<int>(rng.below(3));
+    for (int i = 1; i < reads; ++i)
+        pool.push_back(kb.read(s));
+
+    int numOps = 5 + static_cast<int>(rng.below(40));
+    for (int i = 0; i < numOps; ++i) {
+        Val a = pool[rng.below(static_cast<uint32_t>(pool.size()))];
+        Val b = pool[rng.below(static_cast<uint32_t>(pool.size()))];
+        switch (rng.below(6)) {
+          case 0: pool.push_back(kb.fadd(a, b)); break;
+          case 1: pool.push_back(kb.fmul(a, b)); break;
+          case 2: pool.push_back(kb.fsub(a, b)); break;
+          case 3: pool.push_back(kb.fmax(a, b)); break;
+          case 4: pool.push_back(kb.iadd(a, b)); break;
+          default: pool.push_back(kb.fmul(a, kb.immF(1.5f))); break;
+        }
+    }
+    // Occasionally add an accumulator recurrence.
+    if (rng.below(2) == 0) {
+        Val acc = kb.accum(kb.immF(0.0f));
+        Val next = kb.fadd(acc, pool.back());
+        kb.accumSet(acc, next);
+        pool.push_back(acc);
+    }
+    kb.write(o, pool.back());
+    kb.endLoop();
+
+    MachineConfig cfg;
+    CompiledKernel k = compile(kb.finish(), cfg);
+    checkLoopSchedule(k, cfg);
+    EXPECT_GT(k.loopMix.issuedOps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKernelTest,
+                         ::testing::Range(1, 33));

@@ -1,0 +1,558 @@
+/**
+ * @file
+ * Functional and structural tests for the kernel library: every kernel
+ * is run on the cluster rig and compared bit-for-bit against its golden
+ * model; scheduling characteristics the paper calls out (which unit
+ * class limits each kernel) are asserted too.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hh"
+
+#include "kernels/conv.hh"
+#include "kernels/dct.hh"
+#include "kernels/gromacs.hh"
+#include "kernels/linalg.hh"
+#include "kernels/microbench.hh"
+#include "kernels/rle.hh"
+#include "kernels/rtsl.hh"
+#include "kernels/sad.hh"
+#include "sim/rng.hh"
+
+using namespace imagine;
+using namespace imagine::kernels;
+using imagine::kernelc::CompiledKernel;
+using imagine::kernelc::compile;
+using imagine::testutil::ClusterRig;
+
+namespace
+{
+
+std::vector<Word>
+pixels16(size_t words, Rng &rng)
+{
+    std::vector<Word> v(words);
+    for (auto &w : v)
+        w = pack16(static_cast<uint16_t>(rng.below(256)),
+                   static_cast<uint16_t>(rng.below(256)));
+    return v;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Micro-benchmark kernels
+// ---------------------------------------------------------------------
+
+TEST(MicrobenchKernelTest, PeakFlopsHitsIiFour)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(peakFlops(), cfg);
+    EXPECT_EQ(k.loop.ii, 4);
+    EXPECT_EQ(k.loopMix.fpOps, 20u);    // 12 adds + 8 muls
+}
+
+TEST(MicrobenchKernelTest, PeakOpsWeightedCount)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(peakOps(), cfg);
+    EXPECT_EQ(k.loop.ii, 4);
+    // 12x4 + 8x2 = 64 weighted ops.
+    EXPECT_EQ(k.loopMix.arithOps, 64u);
+}
+
+TEST(MicrobenchKernelTest, SortIsCommBound)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(commSort32(), cfg);
+    EXPECT_EQ(k.loopMix.commWords, 60u);
+    // The COMM unit is the (shared) bottleneck: II == comm op count.
+    EXPECT_GE(k.loop.ii, 60);
+    EXPECT_LE(k.loop.ii, 66);
+}
+
+TEST(MicrobenchKernelTest, SortMatchesGolden)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(commSort32(), cfg);
+    ClusterRig rig(cfg);
+    Rng rng(41);
+    std::vector<Word> in(32 * 16);
+    for (auto &w : in)
+        w = rng.next() % 100000;
+    auto out = rig.run(k, {in});
+    EXPECT_EQ(out[0], commSort32Golden(in));
+}
+
+TEST(MicrobenchKernelTest, StreamLengthKernelIiTracksParameter)
+{
+    MachineConfig cfg;
+    for (int m : {8, 32, 128}) {
+        CompiledKernel k = compile(streamLength(m, 64), cfg);
+        EXPECT_GE(k.loop.ii, m);
+        EXPECT_LE(k.loop.ii, m + 2);
+    }
+    // Prologue length tracks its parameter.
+    for (int p : {8, 64, 256}) {
+        CompiledKernel k = compile(streamLength(16, p), cfg);
+        EXPECT_GE(k.prologue.length, p);
+        EXPECT_LE(k.prologue.length, p + 8);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Convolution
+// ---------------------------------------------------------------------
+
+class ConvTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ConvTest, MatchesGoldenExactly)
+{
+    const int taps = GetParam();
+    MachineConfig cfg;
+    std::array<int16_t, 7> cv7{1, -2, 3, 5, 3, -2, 1};
+    std::array<int16_t, 7> ch7{-1, 2, 4, 6, 4, 2, -1};
+    std::array<int16_t, 3> cv3{1, 2, 1};
+    std::array<int16_t, 3> ch3{-1, 5, -1};
+    CompiledKernel k = compile(
+        taps == 7 ? conv7x7(cv7, ch7) : conv3x3(cv3, ch3), cfg);
+
+    Rng rng(taps);
+    const size_t stripWords = 24;
+    std::vector<std::vector<Word>> inputs(static_cast<size_t>(taps));
+    for (auto &row : inputs)
+        row = pixels16(stripWords * numClusters, rng);
+    ClusterRig rig(cfg);
+    auto out = rig.run(k, inputs);
+
+    // Check each lane strip against the golden model.
+    std::vector<int16_t> cv(taps == 7 ? cv7.begin() : cv3.begin(),
+                            taps == 7 ? cv7.end() : cv3.end());
+    std::vector<int16_t> ch(taps == 7 ? ch7.begin() : ch3.begin(),
+                            taps == 7 ? ch7.end() : ch3.end());
+    for (int lane = 0; lane < numClusters; ++lane) {
+        std::vector<std::vector<Word>> strip(
+            static_cast<size_t>(taps));
+        for (int t = 0; t < taps; ++t) {
+            for (size_t i = 0; i < stripWords; ++i)
+                strip[static_cast<size_t>(t)].push_back(
+                    inputs[static_cast<size_t>(t)]
+                          [i * numClusters + static_cast<size_t>(lane)]);
+        }
+        auto golden = convSeparableGoldenStrip(strip, cv, ch);
+        for (size_t i = 0; i < stripWords; ++i) {
+            ASSERT_EQ(out[0][i * numClusters + static_cast<size_t>(lane)],
+                      golden[i])
+                << "lane " << lane << " word " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Taps, ConvTest, ::testing::Values(3, 7));
+
+// ---------------------------------------------------------------------
+// SAD family
+// ---------------------------------------------------------------------
+
+TEST(SadKernelTest, BlockSadMatchesGolden)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(blockSad7x7(), cfg);
+    Rng rng(7);
+    const size_t stripWords = 16;
+    std::vector<std::vector<Word>> inputs(14);
+    for (auto &row : inputs)
+        row = pixels16(stripWords * numClusters, rng);
+    ClusterRig rig(cfg);
+    auto out = rig.run(k, inputs);
+
+    for (int lane = 0; lane < numClusters; ++lane) {
+        std::vector<std::vector<Word>> l(7), r(7);
+        for (int t = 0; t < 7; ++t) {
+            for (size_t i = 0; i < stripWords; ++i) {
+                l[t].push_back(inputs[t][i * numClusters + lane]);
+                r[t].push_back(inputs[7 + t][i * numClusters + lane]);
+            }
+        }
+        auto golden = blockSad7x7GoldenStrip(l, r);
+        for (size_t i = 0; i < stripWords; ++i)
+            ASSERT_EQ(out[0][i * numClusters + lane], golden[i]);
+    }
+}
+
+TEST(SadKernelTest, SadUpdateMatchesGolden)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(sadUpdate(), cfg);
+    Rng rng(13);
+    const size_t n = 128;   // pixel-pair words
+    std::vector<Word> sad(n), best(2 * n);
+    for (auto &w : sad)
+        w = pack16(static_cast<uint16_t>(rng.below(12000)),
+                   static_cast<uint16_t>(rng.below(12000)));
+    for (size_t i = 0; i < n; ++i) {
+        best[2 * i] = pack16(static_cast<uint16_t>(rng.below(12000)),
+                             static_cast<uint16_t>(rng.below(12000)));
+        best[2 * i + 1] = pack16(3, 3);
+    }
+    ClusterRig rig(cfg);
+    rig.ca.setUcr(0, 17);   // candidate disparity
+    auto out = rig.run(k, {sad, best});
+    EXPECT_EQ(out[0], sadUpdateGolden(sad, best, 17));
+}
+
+TEST(SadKernelTest, BlockSearchMatchesGolden)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(blockSearch(), cfg);
+    Rng rng(19);
+    const size_t blocks = 16;
+    auto cur = pixels16(blocks * 32, rng);
+    std::vector<std::vector<Word>> cands(4);
+    for (auto &cd : cands)
+        cd = pixels16(blocks * 32, rng);
+    std::vector<Word> best(blocks * 2);
+    for (size_t b = 0; b < blocks; ++b) {
+        best[2 * b] = intToWord(1 << 20);   // huge initial SAD
+        best[2 * b + 1] = intToWord(-1);
+    }
+    ClusterRig rig(cfg);
+    rig.ca.setUcr(0, 40);
+    auto out = rig.run(
+        k, {cur, cands[0], cands[1], cands[2], cands[3], best});
+    EXPECT_EQ(out[0], blockSearchGolden(cur, cands, best, 40));
+}
+
+// ---------------------------------------------------------------------
+// Linear algebra (QRD)
+// ---------------------------------------------------------------------
+
+TEST(LinalgKernelTest, HouseMatchesGolden)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(house(), cfg);
+    Rng rng(23);
+    std::vector<float> x(32 * 6);
+    std::vector<Word> xs(x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+        x[i] = rng.uniform(-2.0f, 2.0f);
+        xs[i] = floatToWord(x[i]);
+    }
+    ClusterRig rig(cfg);
+    rig.run(k, {xs});
+    HouseResult hr = houseGolden(x);
+    EXPECT_FLOAT_EQ(wordToFloat(rig.ca.ucr(ucrTau)), hr.tau);
+    EXPECT_FLOAT_EQ(wordToFloat(rig.ca.ucr(ucrVdenom)), hr.vdenom);
+    EXPECT_FLOAT_EQ(wordToFloat(rig.ca.ucr(ucrBeta)), hr.beta);
+}
+
+TEST(LinalgKernelTest, HouseApplyNormalizes)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(houseApply(), cfg);
+    ClusterRig rig(cfg);
+    rig.ca.setUcr(ucrVdenom, floatToWord(2.0f));
+    std::vector<Word> xs(32 * 2);
+    for (size_t i = 0; i < xs.size(); ++i)
+        xs[i] = floatToWord(static_cast<float>(i));
+    auto out = rig.run(k, {xs});
+    EXPECT_FLOAT_EQ(wordToFloat(out[0][0]), 1.0f);  // v[0] forced to 1
+    for (size_t i = 1; i < xs.size(); ++i)
+        EXPECT_FLOAT_EQ(wordToFloat(out[0][i]),
+                        static_cast<float>(i) * 0.5f);
+}
+
+TEST(LinalgKernelTest, PanelDotComputesColumnDots)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(panelDot(), cfg);
+    Rng rng(29);
+    const size_t rows = 64;
+    std::vector<Word> v(rows), panel(rows * 8);
+    std::vector<double> expect(8, 0.0);
+    std::vector<float> vf(rows);
+    std::vector<std::vector<float>> af(8, std::vector<float>(rows));
+    for (size_t i = 0; i < rows; ++i) {
+        vf[i] = rng.uniform(-1, 1);
+        v[i] = floatToWord(vf[i]);
+        for (int c = 0; c < 8; ++c) {
+            af[c][i] = rng.uniform(-1, 1);
+            panel[i * 8 + c] = floatToWord(af[c][i]);
+            expect[c] += static_cast<double>(vf[i]) * af[c][i];
+        }
+    }
+    ClusterRig rig(cfg);
+    rig.run(k, {v, panel});
+    for (int c = 0; c < 8; ++c) {
+        EXPECT_NEAR(wordToFloat(rig.ca.ucr(ucrDotBase + c)), expect[c],
+                    1e-4)
+            << "column " << c;
+    }
+}
+
+TEST(LinalgKernelTest, PanelAxpyUpdates)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(panelAxpy(), cfg);
+    ClusterRig rig(cfg);
+    rig.ca.setUcr(ucrTau, floatToWord(0.5f));
+    for (int c = 0; c < 8; ++c)
+        rig.ca.setUcr(ucrDotBase + c, floatToWord(static_cast<float>(c)));
+    const size_t rows = 32;
+    std::vector<Word> v(rows, floatToWord(2.0f)), panel(rows * 8);
+    for (size_t i = 0; i < panel.size(); ++i)
+        panel[i] = floatToWord(10.0f);
+    auto out = rig.run(k, {v, panel});
+    for (size_t i = 0; i < rows; ++i)
+        for (int c = 0; c < 8; ++c)
+            EXPECT_FLOAT_EQ(wordToFloat(out[0][i * 8 + c]),
+                            10.0f - 2.0f * (0.5f * c));
+}
+
+// ---------------------------------------------------------------------
+// GROMACS
+// ---------------------------------------------------------------------
+
+TEST(GromacsKernelTest, MatchesGoldenAndIsDsqBound)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(gromacsForce(), cfg);
+    // One sqrt + one divide per pair: II >= 2 x DSQ occupancy.
+    EXPECT_GE(k.loop.ii, 2 * cfg.dsqOccupancy);
+
+    Rng rng(31);
+    const size_t pairs = 64;
+    std::vector<Word> in(pairs * 8);
+    for (size_t p = 0; p < pairs; ++p) {
+        for (int c = 0; c < 8; ++c) {
+            float f = (c == 3 || c == 7) ? rng.uniform(-1, 1)
+                                         : rng.uniform(-4, 4);
+            in[p * 8 + c] = floatToWord(f);
+        }
+    }
+    float c12 = 0.75f, c6 = 1.25f;
+    ClusterRig rig(cfg);
+    rig.ca.setUcr(0, floatToWord(c12));
+    rig.ca.setUcr(1, floatToWord(c6));
+    rig.ca.setUcr(2, floatToWord(12.0f * c12));
+    rig.ca.setUcr(3, floatToWord(6.0f * c6));
+    auto out = rig.run(k, {in});
+    EXPECT_EQ(out[0], gromacsForceGolden(in, c12, c6));
+}
+
+// ---------------------------------------------------------------------
+// RLE
+// ---------------------------------------------------------------------
+
+TEST(RleKernelTest, MatchesGolden)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(rle(), cfg);
+    Rng rng(37);
+    const size_t iters = 64;
+    std::vector<Word> in(iters * numClusters);
+    for (size_t i = 0; i < in.size(); ++i)
+        in[i] = rng.below(4);   // small alphabet -> real runs
+    // Sentinel flush for every lane.
+    for (int l = 0; l < numClusters; ++l)
+        in[(iters - 1) * numClusters + l] = 0xffff;
+    ClusterRig rig(cfg);
+    auto out = rig.run(k, {in});
+    auto golden = rleGolden(in);
+    EXPECT_EQ(out[0], golden);
+    EXPECT_LT(out[0].size(), in.size());    // it actually compressed
+    EXPECT_GT(rig.ca.stats().spAccesses, 0u);
+}
+
+// ---------------------------------------------------------------------
+// DCT / MPEG pixel kernels
+// ---------------------------------------------------------------------
+
+TEST(DctKernelTest, DctMatchesGolden)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(dct8x8(), cfg);
+    Rng rng(43);
+    auto blocks = pixels16(32 * 16, rng);   // 16 blocks
+    ClusterRig rig(cfg);
+    auto out = rig.run(k, {blocks});
+    EXPECT_EQ(out[0], dct8x8Golden(blocks));
+}
+
+TEST(DctKernelTest, IdctInvertsDctApproximately)
+{
+    // Quantization-free round trip: idct(dct(x)) ~= x within the Q7
+    // fixed-point error bound.
+    Rng rng(47);
+    auto blocks = pixels16(32 * 4, rng);
+    auto f = dct8x8Golden(blocks);
+    auto back = idct8x8Golden(f);
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        for (int h = 0; h < 2; ++h) {
+            auto orig = static_cast<int16_t>(sub16(blocks[i], h));
+            auto rec = static_cast<int16_t>(sub16(back[i], h));
+            EXPECT_NEAR(orig, rec, 12) << "word " << i;
+        }
+    }
+}
+
+TEST(DctKernelTest, QuantizeDequantizeZigzagGolden)
+{
+    MachineConfig cfg;
+    Rng rng(53);
+    auto blocks = pixels16(32 * 8, rng);
+    {
+        CompiledKernel k = compile(quantize(), cfg);
+        ClusterRig rig(cfg);
+        auto out = rig.run(k, {blocks});
+        EXPECT_EQ(out[0], quantizeGolden(blocks));
+    }
+    {
+        CompiledKernel k = compile(dequantize(), cfg);
+        ClusterRig rig(cfg);
+        auto out = rig.run(k, {blocks});
+        EXPECT_EQ(out[0], dequantizeGolden(blocks));
+    }
+    {
+        CompiledKernel k = compile(zigzag(), cfg);
+        ClusterRig rig(cfg);
+        auto out = rig.run(k, {blocks});
+        EXPECT_EQ(out[0], zigzagGolden(blocks));
+        EXPECT_GT(rig.ca.stats().spAccesses, 0u);
+    }
+}
+
+TEST(DctKernelTest, ColorConvAndAddClamp)
+{
+    MachineConfig cfg;
+    Rng rng(59);
+    {
+        CompiledKernel k = compile(colorConv(), cfg);
+        std::vector<Word> rgb(3 * 8 * 16);
+        for (auto &w : rgb)
+            w = pack16(static_cast<uint16_t>(rng.below(256)),
+                       static_cast<uint16_t>(rng.below(256)));
+        ClusterRig rig(cfg);
+        auto out = rig.run(k, {rgb});
+        EXPECT_EQ(out[0], colorConvGolden(rgb));
+    }
+    {
+        CompiledKernel k = compile(addClamp(), cfg);
+        std::vector<Word> in(8 * 16);
+        for (auto &w : in)
+            w = pack16(static_cast<uint16_t>(rng.next()),
+                       static_cast<uint16_t>(rng.next()));
+        ClusterRig rig(cfg);
+        auto out = rig.run(k, {in});
+        EXPECT_EQ(out[0], addClampGolden(in));
+    }
+}
+
+// ---------------------------------------------------------------------
+// RTSL kernels
+// ---------------------------------------------------------------------
+
+TEST(RtslKernelTest, VertexTransformMatchesGolden)
+{
+    MachineConfig cfg;
+    CompiledKernel k = compile(vertexTransform(), cfg);
+    float m[16] = {60, 0, 0, 64, 0, 60, 0, 64,
+                   0, 0, 0.5f, 0.5f, 0, 0, 0, 1};
+    Rng rng(61);
+    std::vector<Word> verts(4 * 8 * 8);
+    for (size_t i = 0; i < verts.size(); i += 4) {
+        verts[i] = floatToWord(rng.uniform(-1, 1));
+        verts[i + 1] = floatToWord(rng.uniform(-1, 1));
+        verts[i + 2] = floatToWord(rng.uniform(0.1f, 1));
+        verts[i + 3] = floatToWord(1.0f);
+    }
+    ClusterRig rig(cfg);
+    for (int i = 0; i < 16; ++i)
+        rig.ca.setUcr(i, floatToWord(m[i]));
+    auto out = rig.run(k, {verts});
+    EXPECT_EQ(out[0], vertexTransformGolden(verts, m));
+}
+
+TEST(RtslKernelTest, CullRasterShadeZPipelineGolden)
+{
+    MachineConfig cfg;
+    Rng rng(67);
+    const int screenW = 64, screenH = 64;
+    // Random small triangles in screen space (rec 12 with w).
+    const size_t tris = 64;
+    std::vector<Word> verts(tris * 12);
+    for (size_t t = 0; t < tris; ++t) {
+        float cx = rng.uniform(2, 60), cy = rng.uniform(2, 60);
+        for (int v = 0; v < 3; ++v) {
+            verts[t * 12 + v * 4 + 0] =
+                floatToWord(cx + rng.uniform(-2, 2));
+            verts[t * 12 + v * 4 + 1] =
+                floatToWord(cy + rng.uniform(-2, 2));
+            verts[t * 12 + v * 4 + 2] =
+                floatToWord(rng.uniform(0.05f, 0.95f));
+            verts[t * 12 + v * 4 + 3] = floatToWord(1.0f);
+        }
+    }
+
+    // --- cull ---
+    CompiledKernel kc = compile(cullTriangles(), cfg);
+    ClusterRig rig(cfg);
+    rig.ca.setUcr(ucrScreenW, floatToWord(float(screenW)));
+    rig.ca.setUcr(ucrScreenH, floatToWord(float(screenH)));
+    auto culled = rig.run(kc, {verts});
+    auto goldenTris = cullTrianglesGolden(verts, screenW, screenH);
+    size_t kept = goldenTris.size() / 9;
+    ASSERT_EQ(culled.size(), 9u);
+    for (int c = 0; c < 9; ++c) {
+        ASSERT_EQ(culled[c].size(), kept);
+        for (size_t i = 0; i < kept; ++i)
+            ASSERT_EQ(culled[c][i], goldenTris[i * 9 + c])
+                << "column " << c << " tri " << i;
+    }
+
+    // --- rasterize (truncate to whole SIMD iterations) ---
+    size_t keptTrunc = kept - kept % numClusters;
+    CompiledKernel kr = compile(rasterize(), cfg);
+    ClusterRig rig2(cfg);
+    rig2.ca.setUcr(ucrScreenW, screenW);
+    rig2.ca.setUcr(ucrScreenH, screenH);
+    std::vector<std::vector<Word>> cols(9);
+    for (int c = 0; c < 9; ++c)
+        cols[c] = {culled[c].begin(), culled[c].begin() + keptTrunc};
+    auto frags = rig2.run(kr, cols);
+    std::vector<Word> gAddrs, gDepths;
+    rasterizeGolden({goldenTris.begin(),
+                     goldenTris.begin() +
+                         static_cast<std::ptrdiff_t>(keptTrunc * 9)},
+                    screenW, screenH, gAddrs, gDepths);
+    EXPECT_EQ(frags[0], gAddrs);
+    EXPECT_EQ(frags[1], gDepths);
+    ASSERT_GT(gAddrs.size(), 0u);
+
+    // --- shade ---
+    size_t nf = gAddrs.size() - gAddrs.size() % numClusters;
+    gAddrs.resize(nf);
+    gDepths.resize(nf);
+    CompiledKernel ks = compile(shadeFragments(), cfg);
+    ClusterRig rig3(cfg);
+    auto shaded = rig3.run(ks, {gAddrs, gDepths});
+    std::vector<Word> sAddrs, sPays;
+    shadeFragmentsGolden(gAddrs, gDepths, sAddrs, sPays);
+    EXPECT_EQ(shaded[0], sAddrs);
+    EXPECT_EQ(shaded[1], sPays);
+
+    // --- depth test ---
+    std::vector<Word> oldZ(nf);
+    for (size_t i = 0; i < nf; ++i)
+        oldZ[i] = (i % 3 == 0) ? 0xffffffffu : (rng.next() >> 4);
+    CompiledKernel kz = compile(zCompare(), cfg);
+    ClusterRig rig4(cfg);
+    auto surv = rig4.run(kz, {sAddrs, sPays, oldZ});
+    std::vector<Word> zA, zV;
+    zCompareGolden(sAddrs, sPays, oldZ, zA, zV);
+    EXPECT_EQ(surv[0], zA);
+    EXPECT_EQ(surv[1], zV);
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the activity-energy power model: idle anchor, linearity in
+ * activity, and sanity of the Table 1 calibration anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power.hh"
+
+using namespace imagine;
+
+TEST(PowerTest, IdleAnchors)
+{
+    MachineConfig cfg;
+    SystemActivity none;
+    // When the chip is idle it dissipates 4.72 W (section 3.1).
+    EXPECT_NEAR(estimatePower(none, 1'000'000, cfg), 4.72, 1e-9);
+    EXPECT_NEAR(estimatePower(none, 0, cfg), 4.72, 1e-9);
+}
+
+TEST(PowerTest, LinearInActivity)
+{
+    MachineConfig cfg;
+    SystemActivity a;
+    a.fpOps = 1'000'000;
+    a.srfWords = 500'000;
+    SystemActivity b = a;
+    b.fpOps *= 2;
+    b.srfWords *= 2;
+    double cycles = 1e6;
+    double pa = estimatePower(a, static_cast<Cycle>(cycles), cfg) - 4.72;
+    double pb = estimatePower(b, static_cast<Cycle>(cycles), cfg) - 4.72;
+    EXPECT_NEAR(pb, 2 * pa, 1e-9);
+}
+
+TEST(PowerTest, MoreCyclesLowerPower)
+{
+    // Fixed energy spread over more time = lower average power.
+    MachineConfig cfg;
+    SystemActivity a;
+    a.intOps = 10'000'000;
+    double fast = estimatePower(a, 1'000'000, cfg);
+    double slow = estimatePower(a, 2'000'000, cfg);
+    EXPECT_GT(fast, slow);
+    EXPECT_GT(slow, 4.72);
+}
+
+TEST(PowerTest, PeakFlopsAnchor)
+{
+    // Sustaining ~7.9 GFLOPS for a second should land near the 6.88 W
+    // the paper measured for the peak-FLOPS micro-benchmark (the
+    // benchmark's LRF/SRF/issue traffic adds the remainder).
+    MachineConfig cfg;
+    SystemActivity a;
+    double seconds = 0.01;
+    auto cycles = static_cast<Cycle>(seconds * cfg.coreClockHz);
+    a.fpOps = static_cast<uint64_t>(7.9e9 * seconds);
+    a.issuedOps = static_cast<uint64_t>(9.2e9 * seconds);
+    a.lrfWords = static_cast<uint64_t>(24e9 * seconds);
+    a.srfWords = static_cast<uint64_t>(0.8e9 * seconds);
+    double w = estimatePower(a, cycles, cfg);
+    EXPECT_GT(w, 6.4);
+    EXPECT_LT(w, 7.4);
+}
+
+TEST(PowerTest, EnergyBreakdownIsAdditive)
+{
+    EnergyParams p = EnergyParams::calibrated();
+    SystemActivity a;
+    a.fpOps = 100;
+    SystemActivity b;
+    b.commWords = 100;
+    SystemActivity ab;
+    ab.fpOps = 100;
+    ab.commWords = 100;
+    EXPECT_NEAR(dynamicEnergy(ab, p),
+                dynamicEnergy(a, p) + dynamicEnergy(b, p), 1e-18);
+    // COMM transfers cost much more than a single ALU op (they cross
+    // the inter-cluster switch).
+    EXPECT_GT(dynamicEnergy(b, p), dynamicEnergy(a, p));
+}

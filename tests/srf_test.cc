@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the stream register file: client windows, bandwidth
+ * arbitration and functional storage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/config.hh"
+#include "srf/srf.hh"
+
+using namespace imagine;
+
+namespace
+{
+
+class SrfTest : public ::testing::Test
+{
+  protected:
+    MachineConfig cfg;
+    Srf srf{cfg};
+};
+
+} // namespace
+
+TEST_F(SrfTest, FunctionalReadWrite)
+{
+    srf.write(0, 0xdeadbeef);
+    srf.write(srf.sizeWords() - 1, 42);
+    EXPECT_EQ(srf.read(0), 0xdeadbeefu);
+    EXPECT_EQ(srf.read(srf.sizeWords() - 1), 42u);
+}
+
+TEST_F(SrfTest, OutOfRangeAccessPanics)
+{
+    EXPECT_THROW(srf.read(srf.sizeWords()), std::logic_error);
+    EXPECT_THROW(srf.write(srf.sizeWords(), 0), std::logic_error);
+}
+
+TEST_F(SrfTest, StreamBeyondCapacityRejected)
+{
+    Sdr sdr{srf.sizeWords() - 4, 8};
+    EXPECT_THROW(srf.openIn(sdr), std::logic_error);
+}
+
+TEST_F(SrfTest, InputClientFetchesOverTime)
+{
+    for (uint32_t i = 0; i < 64; ++i)
+        srf.write(100 + i, i * 3);
+    int c = srf.openIn({100, 64});
+    EXPECT_FALSE(srf.inReady(c, 0));
+    srf.tick();
+    EXPECT_TRUE(srf.inReady(c, 0));
+    // The full aggregate bandwidth goes to the only client.
+    EXPECT_TRUE(srf.inReady(c, cfg.srfBandwidthWordsPerCycle - 1));
+    EXPECT_FALSE(srf.inReady(c, cfg.srfBandwidthWordsPerCycle));
+    EXPECT_EQ(srf.inConsume(c, 0), 0u);
+    EXPECT_EQ(srf.inConsume(c, 3), 9u);
+    srf.close(c);
+}
+
+TEST_F(SrfTest, InputWindowAdvancesWithConsumption)
+{
+    uint32_t window = static_cast<uint32_t>(cfg.streamBufferWords) *
+                      numClusters;
+    uint32_t len = window * 3;
+    Sdr sdr{0, len};
+    int c = srf.openIn(sdr);
+    // Fetch as much as the window allows.
+    for (int t = 0; t < 200; ++t)
+        srf.tick();
+    EXPECT_TRUE(srf.inReady(c, window - 1));
+    EXPECT_FALSE(srf.inReady(c, window));
+    // Consuming the head lets the window slide.
+    for (uint32_t e = 0; e < 16; ++e)
+        srf.inConsume(c, e);
+    for (int t = 0; t < 4; ++t)
+        srf.tick();
+    EXPECT_TRUE(srf.inReady(c, window + 15));
+    srf.close(c);
+}
+
+TEST_F(SrfTest, OutOfOrderConsumptionWithinWindow)
+{
+    int c = srf.openIn({0, 32});
+    for (int t = 0; t < 8; ++t)
+        srf.tick();
+    // Consume out of order; window head held by element 0.
+    srf.inConsume(c, 5);
+    srf.inConsume(c, 1);
+    srf.inConsume(c, 0);
+    EXPECT_THROW(srf.inConsume(c, 1), std::logic_error);  // double consume
+    srf.close(c);
+}
+
+TEST_F(SrfTest, OutputClientDrains)
+{
+    int c = srf.openOut({200, 16});
+    for (uint32_t e = 0; e < 16; ++e) {
+        ASSERT_TRUE(srf.outCanAccept(c, e));
+        srf.outProduce(c, e, e + 7);
+    }
+    EXPECT_FALSE(srf.outDrained(c));
+    srf.tick();
+    EXPECT_TRUE(srf.outDrained(c));
+    EXPECT_EQ(srf.close(c), 16u);
+    for (uint32_t e = 0; e < 16; ++e)
+        EXPECT_EQ(srf.read(200 + e), e + 7);
+}
+
+TEST_F(SrfTest, OutputDrainStopsAtHole)
+{
+    int c = srf.openOut({0, 8});
+    srf.outProduce(c, 0, 1);
+    srf.outProduce(c, 2, 3);    // hole at element 1
+    srf.tick();
+    EXPECT_FALSE(srf.outDrained(c));
+    srf.outProduce(c, 1, 2);
+    srf.tick();
+    EXPECT_TRUE(srf.outDrained(c));
+    srf.close(c);
+}
+
+TEST_F(SrfTest, AppendPositionTracksProduction)
+{
+    int c = srf.openOut({0, 64});
+    EXPECT_EQ(srf.outAppendPos(c), 0u);
+    srf.outProduce(c, 0, 11);
+    srf.outProduce(c, 1, 12);
+    EXPECT_EQ(srf.outAppendPos(c), 2u);
+    srf.tick();
+    EXPECT_EQ(srf.close(c), 2u);    // conditional stream length
+}
+
+TEST_F(SrfTest, AggregateBandwidthIsCapped)
+{
+    int a = srf.openIn({0, 4096});
+    int b = srf.openIn({8192, 4096});
+    srf.tick();
+    uint32_t got = 0;
+    for (uint32_t e = 0; e < 64; ++e) {
+        if (srf.inReady(a, e))
+            ++got;
+        if (srf.inReady(b, e))
+            ++got;
+    }
+    EXPECT_EQ(got, static_cast<uint32_t>(cfg.srfBandwidthWordsPerCycle));
+    EXPECT_EQ(srf.stats().wordsTransferred,
+              static_cast<uint64_t>(cfg.srfBandwidthWordsPerCycle));
+    srf.close(a);
+    srf.close(b);
+}
+
+TEST_F(SrfTest, ArbitrationIsFair)
+{
+    int a = srf.openIn({0, 4096});
+    int b = srf.openIn({8192, 4096});
+    for (int t = 0; t < 16; ++t)
+        srf.tick();
+    // Both clients should have received about half the bandwidth.
+    uint32_t ca = 0, cb = 0;
+    while (srf.inReady(a, ca))
+        ++ca;
+    while (srf.inReady(b, cb))
+        ++cb;
+    EXPECT_NEAR(static_cast<double>(ca), static_cast<double>(cb),
+                cfg.srfBandwidthWordsPerCycle);
+    srf.close(a);
+    srf.close(b);
+}

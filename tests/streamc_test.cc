@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for the StreamC layer: SRF allocation, interval-based
+ * dependency tracking (dense and strided), descriptor-register reuse
+ * and dependency encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/system.hh"
+#include "streamc/program_builder.hh"
+
+using namespace imagine;
+using namespace imagine::streamc;
+
+namespace
+{
+
+bool
+depends(const StreamProgram &p, uint32_t later, uint32_t earlier)
+{
+    const auto &d = p.instrs[later].deps;
+    return std::find(d.begin(), d.end(), earlier) != d.end();
+}
+
+} // namespace
+
+TEST(SrfAllocatorTest, FirstFitAndCoalesce)
+{
+    SrfAllocator a(1000);
+    uint32_t x = a.alloc(400);
+    uint32_t y = a.alloc(400);
+    EXPECT_NE(x, y);
+    EXPECT_EQ(a.freeWords(), 200u);
+    a.free(x);
+    EXPECT_EQ(a.freeWords(), 600u);
+    // The freed hole is reusable.
+    uint32_t z = a.alloc(300);
+    EXPECT_EQ(z, x);
+    a.free(z);
+    a.free(y);
+    EXPECT_EQ(a.freeWords(), 1000u);
+    // Coalesced back into one block: a full-size alloc works.
+    EXPECT_EQ(a.alloc(1000), 0u);
+}
+
+TEST(SrfAllocatorTest, ExhaustionIsFatal)
+{
+    SrfAllocator a(100);
+    a.alloc(60);
+    EXPECT_EXIT(a.alloc(60), ::testing::ExitedWithCode(1), "exhausted");
+}
+
+TEST(SrfAllocatorTest, DoubleFreePanics)
+{
+    SrfAllocator a(100);
+    uint32_t x = a.alloc(10);
+    a.free(x);
+    EXPECT_THROW(a.free(x), std::logic_error);
+}
+
+TEST(IntervalTrackerTest, RawWarWaw)
+{
+    IntervalTracker t;
+    std::vector<uint32_t> deps;
+    t.write(0, 100, 1, deps);
+    EXPECT_TRUE(deps.empty());
+    // RAW.
+    t.read(50, 60, 2, deps);
+    EXPECT_EQ(deps, (std::vector<uint32_t>{1}));
+    // WAR + WAW on overlap.
+    deps.clear();
+    t.write(40, 80, 3, deps);
+    std::sort(deps.begin(), deps.end());
+    EXPECT_EQ(deps, (std::vector<uint32_t>{1, 2}));
+    // Non-overlapping read depends only on the original writer (the
+    // split interval remains).
+    deps.clear();
+    t.read(0, 10, 4, deps);
+    EXPECT_EQ(deps, (std::vector<uint32_t>{1}));
+}
+
+TEST(IntervalTrackerTest, DisjointRangesDontConflict)
+{
+    IntervalTracker t;
+    std::vector<uint32_t> deps;
+    t.write(0, 100, 1, deps);
+    deps.clear();
+    t.write(100, 200, 2, deps);
+    EXPECT_TRUE(deps.empty());
+}
+
+TEST(IntervalTrackerTest, StridedPanelsAreIndependent)
+{
+    // Two 8-wide column panels of a row-major matrix with row stride
+    // 96: flat extents overlap but record windows are disjoint.
+    IntervalTracker t;
+    std::vector<uint32_t> deps;
+    t.write(0, 96 * 100, 1, deps, 96, 8);       // columns 0..7
+    deps.clear();
+    t.write(8, 96 * 100 + 8, 2, deps, 96, 8);   // columns 8..15
+    EXPECT_TRUE(deps.empty());
+    // A read of columns 0..7 conflicts with writer 1 only.
+    deps.clear();
+    t.read(0, 96 * 100, 3, deps, 96, 8);
+    EXPECT_EQ(deps, (std::vector<uint32_t>{1}));
+    // A dense write overlapping everything conflicts with both.
+    deps.clear();
+    t.write(0, 96 * 100 + 8, 4, deps);
+    std::sort(deps.begin(), deps.end());
+    EXPECT_EQ(deps, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(BuilderReuseTest, SdrDescriptorsAreCached)
+{
+    MachineConfig cfg;
+    KernelRegistry kernels;
+    StreamProgramBuilder b(cfg, kernels);
+    int r1 = b.sdr(0, 100);
+    int r2 = b.sdr(0, 100);
+    int r3 = b.sdr(100, 100);
+    EXPECT_EQ(r1, r2);
+    EXPECT_NE(r1, r3);
+    EXPECT_EQ(b.stats().sdrWrites, 2u);
+    EXPECT_EQ(b.stats().sdrReuses, 1u);
+}
+
+TEST(BuilderReuseTest, MarDescriptorsAreCached)
+{
+    MachineConfig cfg;
+    KernelRegistry kernels;
+    StreamProgramBuilder b(cfg, kernels);
+    int m1 = b.marStride(1000, 4, 2);
+    int m2 = b.marStride(1000, 4, 2);
+    int m3 = b.marIndexed(1000, 2);
+    EXPECT_EQ(m1, m2);
+    EXPECT_NE(m1, m3);
+    EXPECT_EQ(b.stats().marWrites, 2u);
+    EXPECT_EQ(b.stats().marReuses, 1u);
+}
+
+TEST(BuilderReuseTest, LruEvictionRotates)
+{
+    MachineConfig cfg;
+    KernelRegistry kernels;
+    StreamProgramBuilder b(cfg, kernels);
+    // Touch more descriptors than there are SDRs.
+    for (int i = 0; i < cfg.numSdrs + 4; ++i)
+        b.sdr(static_cast<uint32_t>(i) * 64, 64);
+    // The first descriptor was evicted: using it again costs a write.
+    uint64_t before = b.stats().sdrWrites;
+    b.sdr(0, 64);
+    EXPECT_EQ(b.stats().sdrWrites, before + 1);
+}
+
+TEST(BuilderDepsTest, LoadKernelStoreChain)
+{
+    MachineConfig cfg;
+    KernelRegistry kernels;
+    // A trivial copy kernel for dependency purposes.
+    kernelc::KernelBuilder kb("copy1");
+    int si = kb.addInput();
+    int so = kb.addOutput();
+    kb.beginLoop();
+    kb.write(so, kb.read(si));
+    kb.endLoop();
+    kernels.push_back(kernelc::compile(kb.finish(), cfg));
+
+    StreamProgramBuilder b(cfg, kernels);
+    uint32_t in = b.alloc(64), out = b.alloc(64);
+    uint32_t ld = b.load(b.marStride(0), b.sdr(in, 64));
+    uint32_t kn = b.kernel(0, {b.sdr(in, 64)}, {b.sdr(out, 64)});
+    uint32_t st = b.store(b.marStride(500), b.sdr(out, 64));
+    StreamProgram p = b.take();
+    EXPECT_TRUE(depends(p, kn, ld));    // RAW through the SRF
+    EXPECT_TRUE(depends(p, st, kn));    // RAW through the SRF
+    EXPECT_FALSE(depends(p, kn, st));
+}
+
+TEST(BuilderDepsTest, WarOnBufferReuse)
+{
+    MachineConfig cfg;
+    KernelRegistry kernels;
+    StreamProgramBuilder b(cfg, kernels);
+    uint32_t buf = b.alloc(64);
+    uint32_t ld1 = b.load(b.marStride(0), b.sdr(buf, 64));
+    uint32_t st = b.store(b.marStride(500), b.sdr(buf, 64));
+    uint32_t ld2 = b.load(b.marStride(1000), b.sdr(buf, 64));
+    StreamProgram p = b.take();
+    EXPECT_TRUE(depends(p, st, ld1));
+    // The second load must wait for the store to finish reading.
+    EXPECT_TRUE(depends(p, ld2, st));
+}
+
+TEST(BuilderDepsTest, DramDependencies)
+{
+    MachineConfig cfg;
+    KernelRegistry kernels;
+    StreamProgramBuilder b(cfg, kernels);
+    uint32_t a = b.alloc(64), c = b.alloc(64);
+    uint32_t st = b.store(b.marStride(1000), b.sdr(a, 64));
+    uint32_t ld = b.load(b.marStride(1000), b.sdr(c, 64));
+    StreamProgram p = b.take();
+    // The load reads what the store wrote: RAW through DRAM.
+    EXPECT_TRUE(depends(p, ld, st));
+}
+
+TEST(BuilderDepsTest, SyncFencesEverything)
+{
+    MachineConfig cfg;
+    KernelRegistry kernels;
+    StreamProgramBuilder b(cfg, kernels);
+    uint32_t a = b.alloc(64);
+    b.load(b.marStride(0), b.sdr(a, 64));
+    b.store(b.marStride(100), b.sdr(a, 64));
+    uint32_t sy = b.sync();
+    StreamProgram p = b.take();
+    EXPECT_GE(p.instrs[sy].deps.size(), 2u);
+}
