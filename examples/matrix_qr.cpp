@@ -19,7 +19,7 @@ using namespace imagine::apps;
 
 int
 main(int argc, char **argv)
-{
+try {
     QrdConfig cfg;
     if (argc >= 3) {
         cfg.rows = std::atoi(argv[1]);
@@ -51,4 +51,8 @@ main(int argc, char **argv)
                 static_cast<Addr>(i) * cfg.cols + j)));
     std::printf("\nsum |below-diagonal| = %.3g\n", below);
     return r.validated ? 0 : 1;
+} catch (const SimError &e) {
+    std::fprintf(stderr, "matrix_qr: %s error: %s\n",
+                 simErrorKindName(e.kind()), e.what());
+    return 1;
 }

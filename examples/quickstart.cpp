@@ -15,7 +15,7 @@ using namespace imagine;
 
 int
 main()
-{
+try {
     // 1. A machine: the dev-board preset is the paper's lab setup.
     ImagineSystem sys(MachineConfig::devBoard());
 
@@ -73,4 +73,8 @@ main()
                 static_cast<unsigned long long>(r.breakdown.memStall),
                 static_cast<unsigned long long>(r.breakdown.hostStall));
     return 0;
+} catch (const SimError &e) {
+    std::fprintf(stderr, "quickstart: %s error: %s\n",
+                 simErrorKindName(e.kind()), e.what());
+    return 1;
 }

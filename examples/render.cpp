@@ -17,7 +17,7 @@ using namespace imagine::apps;
 
 int
 main()
-{
+try {
     ImagineSystem sys(MachineConfig::devBoard());
     RtslConfig cfg;
     cfg.screen = 96;
@@ -52,4 +52,8 @@ main()
         std::putchar('\n');
     }
     return r.validated ? 0 : 1;
+} catch (const SimError &e) {
+    std::fprintf(stderr, "render: %s error: %s\n",
+                 simErrorKindName(e.kind()), e.what());
+    return 1;
 }

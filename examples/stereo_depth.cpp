@@ -16,7 +16,7 @@ using namespace imagine::apps;
 
 int
 main()
-{
+try {
     ImagineSystem sys(MachineConfig::devBoard());
     DepthConfig cfg;
     cfg.width = 512;
@@ -49,4 +49,8 @@ main()
     std::printf("\n(each shade level is one disparity step; bands come "
                 "from the scene's region-dependent true disparity)\n");
     return r.validated ? 0 : 1;
+} catch (const SimError &e) {
+    std::fprintf(stderr, "stereo_depth: %s error: %s\n",
+                 simErrorKindName(e.kind()), e.what());
+    return 1;
 }

@@ -17,7 +17,7 @@ using namespace imagine::apps;
 
 int
 main(int argc, char **argv)
-{
+try {
     MpegConfig cfg;
     if (argc >= 2)
         cfg.frames = std::atoi(argv[1]);
@@ -53,4 +53,8 @@ main(int argc, char **argv)
                 "DRAM %.3f GB/s\n",
                 r.run.lrfGBs, r.run.srfGBs, r.run.memGBs);
     return r.validated ? 0 : 1;
+} catch (const SimError &e) {
+    std::fprintf(stderr, "video_encode: %s error: %s\n",
+                 simErrorKindName(e.kind()), e.what());
+    return 1;
 }

@@ -38,7 +38,14 @@ ensureKernel(ImagineSystem &sys, const std::string &name,
 inline std::vector<Word>
 interleaveStrips(const std::vector<std::vector<Word>> &strips)
 {
+    if (strips.empty())
+        IMAGINE_FATAL("interleaveStrips: no strips to interleave");
     size_t n = strips[0].size();
+    for (size_t l = 1; l < strips.size(); ++l)
+        if (strips[l].size() != n)
+            IMAGINE_FATAL("interleaveStrips: strip %zu has %zu words, "
+                          "expected %zu",
+                          l, strips[l].size(), n);
     std::vector<Word> out(n * strips.size());
     for (size_t i = 0; i < n; ++i)
         for (size_t l = 0; l < strips.size(); ++l)

@@ -11,6 +11,12 @@ ImagineSystem::ImagineSystem(const MachineConfig &cfg)
     : cfg_(cfg), srf_(cfg_), mem_(cfg_, srf_), clusters_(cfg_, srf_),
       sc_(cfg_, srf_, mem_, clusters_, kernels_), host_(cfg_, sc_)
 {
+    if (cfg_.faults.enabled) {
+        inj_ = std::make_unique<FaultInjector>(cfg_.faults);
+        srf_.setFaultInjector(inj_.get());
+        mem_.setFaultInjector(inj_.get());
+        sc_.setFaultInjector(inj_.get());
+    }
 }
 
 uint16_t
@@ -110,6 +116,24 @@ diff(const HostStats &a, const HostStats &b)
     return d;
 }
 
+FaultStats
+diff(const FaultStats &a, const FaultStats &b)
+{
+    FaultStats d;
+    d.injected = a.injected - b.injected;
+    d.corrected = a.corrected - b.corrected;
+    d.detected = a.detected - b.detected;
+    d.silent = a.silent - b.silent;
+    d.perfOnly = a.perfOnly - b.perfOnly;
+    d.retries = a.retries - b.retries;
+    d.retriesExhausted = a.retriesExhausted - b.retriesExhausted;
+    d.stuckCompletions = a.stuckCompletions - b.stuckCompletions;
+    d.agStallCycles = a.agStallCycles - b.agStallCycles;
+    for (int i = 0; i < static_cast<int>(FaultSite::NumSites); ++i)
+        d.bySite[i] = a.bySite[i] - b.bySite[i];
+    return d;
+}
+
 } // namespace
 
 RunResult
@@ -121,12 +145,26 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
     MemStats ms0 = mem_.stats();
     ScStats sc0 = sc_.stats();
     HostStats hs0 = host_.stats();
+    FaultStats fs0 = inj_ ? inj_->stats() : FaultStats{};
+    size_t trace0 = inj_ ? inj_->trace().size() : 0;
 
     host_.loadProgram(program, playback);
 
     RunResult r;
     uint64_t start = cycle_;
     uint64_t idle[5] = {};  // indexed by IdleCause
+
+    // Forward-progress watchdog: "progress" is any retirement, cluster
+    // issue, memory word moved, or host instruction sent.  A machine
+    // that ticks without moving any of these for watchdogStagnationCycles
+    // is wedged (deadlocked scoreboard, stuck slot, lost completion).
+    auto progress = [this] {
+        const MemStats &m = mem_.stats();
+        return sc_.stats().instrsRetired + clusters_.stats().issuedOps +
+               m.wordsLoaded + m.wordsStored + host_.stats().instrsSent;
+    };
+    uint64_t lastMetric = progress();
+    Cycle lastProgress = cycle_;
 
     while (true) {
         bool finished = host_.finished() && sc_.drained() &&
@@ -141,8 +179,32 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
         if (!clusters_.busy())
             ++idle[static_cast<int>(sc_.idleCause())];
         ++cycle_;
-        IMAGINE_ASSERT(cycle_ - start < cycleLimit,
-                       "program exceeded the cycle limit");
+
+        uint64_t m = progress();
+        if (m != lastMetric) {
+            lastMetric = m;
+            lastProgress = cycle_;
+        } else if (cycle_ - lastProgress >=
+                   cfg_.watchdogStagnationCycles) {
+            auto report = buildHangReport(lastProgress, 0);
+            throw SimError(
+                SimErrorKind::Hang,
+                strfmt("no forward progress for %llu cycles "
+                       "(watchdog)\n%s",
+                       static_cast<unsigned long long>(
+                           cycle_ - lastProgress),
+                       report->describe().c_str()),
+                report);
+        }
+        if (cycle_ - start >= cycleLimit) {
+            auto report = buildHangReport(lastProgress, cycleLimit);
+            throw SimError(
+                SimErrorKind::Hang,
+                strfmt("program exceeded the %llu-cycle limit\n%s",
+                       static_cast<unsigned long long>(cycleLimit),
+                       report->describe().c_str()),
+                report);
+        }
     }
 
     r.cycles = cycle_ - start;
@@ -152,6 +214,12 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
     r.mem = diff(mem_.stats(), ms0);
     r.sc = diff(sc_.stats(), sc0);
     r.host = diff(host_.stats(), hs0);
+    if (inj_) {
+        r.faults = diff(inj_->stats(), fs0);
+        const std::vector<FaultEvent> &t = inj_->trace();
+        r.faultTrace.assign(t.begin() + static_cast<long>(trace0),
+                            t.end());
+    }
 
     // --- Fig. 11 attribution -------------------------------------------
     ExecBreakdown &bd = r.breakdown;
@@ -215,6 +283,24 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
     r.watts = estimatePower(r.activity, r.cycles, cfg_);
 
     return r;
+}
+
+std::shared_ptr<const HangReport>
+ImagineSystem::buildHangReport(Cycle lastProgress,
+                               uint64_t cycleLimit) const
+{
+    auto report = std::make_shared<HangReport>();
+    report->cycle = cycle_;
+    report->lastProgressCycle = lastProgress;
+    report->cycleLimit = cycleLimit;
+    sc_.dumpHang(*report);
+    mem_.dumpHang(*report);
+    report->hostNext = host_.nextInstr();
+    report->hostFinished = host_.finished();
+    report->hostBlockedUntil = host_.blockedUntil();
+    report->clustersBusy = clusters_.busy();
+    report->clusterKernelCycles = clusters_.currentKernelCycles();
+    return report;
 }
 
 } // namespace imagine

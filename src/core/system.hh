@@ -27,6 +27,8 @@
 #include "mem/memory.hh"
 #include "power/power.hh"
 #include "sim/config.hh"
+#include "sim/error.hh"
+#include "sim/fault.hh"
 #include "srf/srf.hh"
 #include "streamc/program_builder.hh"
 
@@ -89,6 +91,11 @@ struct RunResult
     ScStats sc;
     HostStats host;
     SystemActivity activity;
+
+    // Fault-injection accounting for this run (zero when disabled).
+    FaultStats faults;
+    /** Faults injected during this run, in deterministic order. */
+    std::vector<FaultEvent> faultTrace;
 };
 
 /** One Imagine processor plus host. */
@@ -125,12 +132,21 @@ class ImagineSystem
 
     /**
      * Run a stream program to completion.
+     *
+     * On a hang - no retirement, issue, or memory progress for
+     * config().watchdogStagnationCycles, or the cycle limit exceeded -
+     * throws SimError(Hang) carrying a structured HangReport
+     * (scoreboard dump, dependency cycle, AG state, host position).
+     *
      * @param program the program (must outlive the call)
      * @param playback use the lightweight playback dispatcher
      * @param cycleLimit watchdog bound
      */
     RunResult run(const StreamProgram &program, bool playback = true,
                   uint64_t cycleLimit = 1ull << 33);
+
+    /** The fault injector, or null when config().faults.enabled is off. */
+    const FaultInjector *faultInjector() const { return inj_.get(); }
 
     /** Host-visible scalar result register. */
     Word readUcr(int i) const { return sc_.readUcr(i); }
@@ -140,8 +156,13 @@ class ImagineSystem
     Cycle now() const { return cycle_; }
 
   private:
+    /** Build a hang report from every component's in-flight state. */
+    std::shared_ptr<const HangReport> buildHangReport(
+        Cycle lastProgress, uint64_t cycleLimit) const;
+
     MachineConfig cfg_;
     KernelRegistry kernels_;
+    std::unique_ptr<FaultInjector> inj_;    ///< null when faults off
     Srf srf_;
     MemorySystem mem_;
     ClusterArray clusters_;

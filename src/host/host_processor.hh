@@ -55,6 +55,11 @@ class HostProcessor
 
     void tick(Cycle now);
 
+    /** Next program instruction to dispatch (hang diagnostics). */
+    size_t nextInstr() const { return next_; }
+    /** End of the current host-dependency round trip, if any. */
+    Cycle blockedUntil() const { return blockedUntil_; }
+
     const HostStats &stats() const { return stats_; }
 
   private:

@@ -1,7 +1,10 @@
 #include "host/stream_controller.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
+#include "sim/error.hh"
+#include "sim/fault.hh"
 #include "sim/log.hh"
 
 namespace imagine
@@ -180,6 +183,16 @@ StreamController::dispatch(Slot &s, Cycle now)
       case StreamOpKind::KernelExec:
       case StreamOpKind::Restart: {
         const kernelc::CompiledKernel &k = kernels_[si.kernelId];
+        s.inPlace = false;
+        for (uint8_t o : si.outSdrs) {
+            const Sdr &os = sdrs_[o];
+            for (uint8_t in : si.inSdrs) {
+                const Sdr &is = sdrs_[in];
+                if (os.srfOffset < is.srfOffset + is.length &&
+                    is.srfOffset < os.srfOffset + os.length)
+                    s.inPlace = true;
+            }
+        }
         std::vector<ClusterArray::Binding> ins, outs;
         for (size_t i = 0; i < si.inSdrs.size(); ++i) {
             Sdr sd = sdrs_[si.inSdrs[i]];
@@ -224,10 +237,52 @@ StreamController::dispatch(Slot &s, Cycle now)
 void
 StreamController::complete(Slot &s)
 {
+    // Injected stuck-completion fault: the op finished on its resource
+    // but the scoreboard never sees the completion signal.  Dependents
+    // never issue; the forward-progress watchdog reports the hang.
+    if (inj_ && inj_->onSlotCompletion(s.idx)) {
+        s.state = SlotState::Stuck;
+        return;
+    }
     done_[s.idx] = 1;
     ++stats_.instrsRetired;
     ++stats_.kindCount[static_cast<int>(s.instr->kind)];
     s.instr = nullptr;  // marks the slot for removal
+}
+
+void
+StreamController::retryOrGiveUp(Slot &s)
+{
+    const StreamInstr &si = *s.instr;
+    if (si.kind == StreamOpKind::Restart || s.inPlace ||
+        s.retries >= cfg_.faults.maxRetries) {
+        const char *why;
+        std::string budget;
+        if (si.kind == StreamOpKind::Restart) {
+            why = "Restart accumulator carry-over cannot be replayed";
+        } else if (s.inPlace) {
+            why = "in-place stream update overwrote its own input";
+        } else {
+            budget = strfmt("retry budget (%d) exhausted",
+                            cfg_.faults.maxRetries);
+            why = budget.c_str();
+        }
+        inj_->noteRetryExhausted();
+        throw SimError(
+            SimErrorKind::UnrecoveredFault,
+            strfmt("detected fault in %s instr %u%s%s%s: %s",
+                   streamOpKindName(si.kind), s.idx,
+                   si.label.empty() ? "" : " \"",
+                   si.label.c_str(), si.label.empty() ? "" : "\"",
+                   why));
+    }
+    ++s.retries;
+    inj_->noteRetry();
+    // Back to Waiting: the issue loop re-acquires resources and the
+    // dispatch path re-runs the op from intact SRF/DRAM source data.
+    s.state = SlotState::Waiting;
+    s.ag = -1;
+    s.issueDone = 0;
 }
 
 void
@@ -236,12 +291,31 @@ StreamController::tick(Cycle now)
     // --- finish a microcode load ---------------------------------------
     if (ucodeLoadAg_ >= 0 && mem_.agDone(ucodeLoadAg_)) {
         mem_.finish(ucodeLoadAg_);
-        const kernelc::CompiledKernel &k = kernels_[ucodeLoading_];
-        ucodeSize_[ucodeLoading_] = k.ucodeInstrs;
-        ucodeUsed_ += k.ucodeInstrs;
-        ucodeLru_.push_front(ucodeLoading_);
-        ucodeLoadAg_ = -1;
-        ucodeLoading_ = UINT16_MAX;
+        if (inj_ && inj_->onUcodeLoad(ucodeLoading_)) {
+            // Parity caught a corrupted transfer: discard and re-run.
+            uint16_t kernelId = ucodeLoading_;
+            ucodeLoadAg_ = -1;
+            ucodeLoading_ = UINT16_MAX;
+            if (++ucodeRetries_ > cfg_.faults.maxRetries) {
+                inj_->noteRetryExhausted();
+                throw SimError(
+                    SimErrorKind::UnrecoveredFault,
+                    strfmt("microcode load of kernel %s corrupted; "
+                           "retry budget (%d) exhausted",
+                           kernels_[kernelId].name(),
+                           cfg_.faults.maxRetries));
+            }
+            inj_->noteRetry();
+            startUcodeLoad(kernelId, now);
+        } else {
+            const kernelc::CompiledKernel &k = kernels_[ucodeLoading_];
+            ucodeSize_[ucodeLoading_] = k.ucodeInstrs;
+            ucodeUsed_ += k.ucodeInstrs;
+            ucodeLru_.push_front(ucodeLoading_);
+            ucodeLoadAg_ = -1;
+            ucodeLoading_ = UINT16_MAX;
+            ucodeRetries_ = 0;
+        }
     }
 
     // --- completions and dispatches ------------------------------------
@@ -258,14 +332,38 @@ StreamController::tick(Cycle now)
           case StreamOpKind::MemLoad:
           case StreamOpKind::MemStore:
             if (mem_.agDone(s.ag)) {
+                bool faulted = inj_ && mem_.agFaulted(s.ag);
                 mem_.finish(s.ag);
+                if (faulted) {
+                    // Source data (DRAM for loads, SRF for stores) is
+                    // intact: re-run the transfer.
+                    retryOrGiveUp(s);
+                    break;
+                }
                 complete(s);
             }
             break;
           case StreamOpKind::KernelExec:
           case StreamOpKind::Restart:
             if (clusters_.done()) {
+                bool faulted = false;
+                if (inj_) {
+                    for (int c : s.outClients)
+                        faulted = faulted || srf_.clientFaulted(c);
+                }
                 clusters_.retire();
+                if (faulted) {
+                    // Discard this run's outputs; inputs are still
+                    // resident in the SRF, so the kernel can re-run.
+                    for (int c : s.inClients)
+                        srf_.close(c);
+                    for (int c : s.outClients)
+                        srf_.close(c);
+                    s.inClients.clear();
+                    s.outClients.clear();
+                    retryOrGiveUp(s);
+                    break;
+                }
                 for (int c : s.inClients)
                     srf_.close(c);
                 // Conditional streams report their produced length back
@@ -355,6 +453,81 @@ StreamController::tick(Cycle now)
     }
 
     classifyIdle();
+}
+
+namespace
+{
+
+const char *
+slotStateName(int state)
+{
+    switch (state) {
+      case 0: return "Waiting";
+      case 1: return "NeedUcode";
+      case 2: return "Issuing";
+      case 3: return "Running";
+      case 4: return "Stuck";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+void
+StreamController::dumpHang(HangReport &report) const
+{
+    std::unordered_map<uint32_t, const Slot *> byIdx;
+    for (const Slot &s : slots_) {
+        if (!s.instr)
+            continue;
+        byIdx.emplace(s.idx, &s);
+        HangReport::SlotInfo info;
+        info.idx = s.idx;
+        info.label = s.instr->label;
+        info.kind = streamOpKindName(s.instr->kind);
+        info.state = slotStateName(static_cast<int>(s.state));
+        for (uint32_t d : s.instr->deps)
+            if (!done_[d])
+                info.waitingOn.push_back(d);
+        info.ag = s.ag;
+        info.retries = s.retries;
+        report.slots.push_back(std::move(info));
+    }
+    report.instrsRetired = stats_.instrsRetired;
+
+    // Dependency-cycle finder over the occupied scoreboard slots: an
+    // edge instr -> dep for every unsatisfied compiler-encoded dep that
+    // is itself sitting in the scoreboard.  A cycle means the program
+    // is malformed (deps normally point strictly backwards) and no
+    // amount of waiting will resolve it.
+    std::unordered_map<uint32_t, int> color;    // 1 in-stack, 2 done
+    std::vector<uint32_t> path;
+    auto dfs = [&](auto &&self, uint32_t idx) -> bool {
+        color[idx] = 1;
+        path.push_back(idx);
+        for (uint32_t d : byIdx.at(idx)->instr->deps) {
+            if (done_[d] || !byIdx.count(d))
+                continue;
+            int c = color.count(d) ? color[d] : 0;
+            if (c == 1) {
+                // Found a back edge: report the cycle portion of the
+                // current path, starting at d.
+                auto it = std::find(path.begin(), path.end(), d);
+                report.depCycle.assign(it, path.end());
+                return true;
+            }
+            if (c == 0 && self(self, d))
+                return true;
+        }
+        path.pop_back();
+        color[idx] = 2;
+        return false;
+    };
+    for (const auto &[idx, slot] : byIdx) {
+        (void)slot;
+        if (!color.count(idx) && dfs(dfs, idx))
+            break;
+    }
 }
 
 void

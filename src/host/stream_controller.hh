@@ -28,6 +28,9 @@
 namespace imagine
 {
 
+class FaultInjector;
+struct HangReport;
+
 /** Registered, compiled kernels addressable by stream instructions. */
 using KernelRegistry = std::vector<kernelc::CompiledKernel>;
 
@@ -82,6 +85,15 @@ class StreamController
     /** Current idle-cause classification (valid when clusters idle). */
     IdleCause idleCause() const { return idleCause_; }
 
+    // --- resilience -----------------------------------------------------
+    /** Attach a fault injector (null = no injection; the default). */
+    void setFaultInjector(FaultInjector *inj) { inj_ = inj; }
+    /**
+     * Append the scoreboard (with unsatisfied compiler-encoded deps and
+     * retry counts) and a dependency cycle, if any, to a hang report.
+     */
+    void dumpHang(HangReport &report) const;
+
     /** Host-visible scalar read (UCR file; used for host dependencies). */
     Word readUcr(int i) const { return ucrs_[static_cast<size_t>(i)]; }
     /** Host-visible SDR read (stream lengths for conditional streams). */
@@ -99,6 +111,7 @@ class StreamController
         NeedUcode,      ///< kernel waiting for microcode residency
         Issuing,        ///< in the issue pipeline
         Running,        ///< on its resource
+        Stuck,          ///< injected fault: completion signal lost
     };
 
     struct Slot
@@ -108,11 +121,23 @@ class StreamController
         SlotState state = SlotState::Waiting;
         Cycle issueDone = 0;        ///< end of issue pipeline stage
         int ag = -1;                ///< AG executing a memory op
+        int retries = 0;            ///< fault-recovery re-issues
+        /** Kernel output overlaps an input (in-place update): a faulted
+         *  run has overwritten its own source, so no retry is possible. */
+        bool inPlace = false;
         // Kernel bookkeeping.
         std::vector<int> inClients, outClients;
     };
 
     bool depsSatisfied(const Slot &s) const;
+    /**
+     * A detected fault tainted this slot's result: re-issue it, or
+     * throw an UnrecoveredFault SimError once the retry budget is
+     * spent.  Restart ops (accumulator carry-over) and in-place stream
+     * updates have already destroyed their replay source and give up
+     * immediately.
+     */
+    void retryOrGiveUp(Slot &s);
     /** Start the issue stage for a slot whose resource is free. */
     void tryIssue(Slot &s, Cycle now);
     /** Move an issued slot onto its resource. */
@@ -130,6 +155,7 @@ class StreamController
     MemorySystem &mem_;
     ClusterArray &clusters_;
     const KernelRegistry &kernels_;
+    FaultInjector *inj_ = nullptr;
 
     std::vector<Slot> slots_;
     const StreamProgram *program_ = nullptr;
@@ -149,6 +175,7 @@ class StreamController
     int ucodeUsed_ = 0;
     int ucodeLoadAg_ = -1;              ///< AG busy with a microcode load
     uint16_t ucodeLoading_ = UINT16_MAX;
+    int ucodeRetries_ = 0;              ///< corrupted-load re-transfers
 
     IdleCause idleCause_ = IdleCause::Host;
     ScStats stats_;

@@ -46,6 +46,27 @@ isMemOp(StreamOpKind k)
     return k == StreamOpKind::MemLoad || k == StreamOpKind::MemStore;
 }
 
+/** Diagnostic name of a stream-op kind. */
+inline const char *
+streamOpKindName(StreamOpKind k)
+{
+    switch (k) {
+      case StreamOpKind::KernelExec: return "KernelExec";
+      case StreamOpKind::Restart: return "Restart";
+      case StreamOpKind::MemLoad: return "MemLoad";
+      case StreamOpKind::MemStore: return "MemStore";
+      case StreamOpKind::SdrWrite: return "SdrWrite";
+      case StreamOpKind::MarWrite: return "MarWrite";
+      case StreamOpKind::UcrWrite: return "UcrWrite";
+      case StreamOpKind::Move: return "Move";
+      case StreamOpKind::UcodeLoad: return "UcodeLoad";
+      case StreamOpKind::RegRead: return "RegRead";
+      case StreamOpKind::Sync: return "Sync";
+      case StreamOpKind::NumKinds: break;
+    }
+    return "unknown";
+}
+
 /** Stream descriptor register: where a stream lives in the SRF. */
 struct Sdr
 {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/error.hh"
+#include "sim/fault.hh"
 #include "sim/log.hh"
 
 namespace imagine
@@ -94,6 +96,37 @@ MemorySystem::agDone(int ag) const
     return true;
 }
 
+bool
+MemorySystem::agFaulted(int ag) const
+{
+    const AgState &st = ags_[ag];
+    if (!st.active)
+        return false;
+    if (st.faultDetected)
+        return true;
+    return st.isLoad && !st.sink && st.dataClient >= 0 &&
+           srf_.clientFaulted(st.dataClient);
+}
+
+void
+MemorySystem::dumpHang(HangReport &report) const
+{
+    for (size_t i = 0; i < ags_.size(); ++i) {
+        const AgState &st = ags_[i];
+        HangReport::AgInfo info;
+        info.ag = static_cast<int>(i);
+        info.active = st.active;
+        info.isLoad = st.isLoad;
+        info.sink = st.sink;
+        info.completed = st.completed;
+        info.length = st.length;
+        report.ags.push_back(std::move(info));
+    }
+    report.queuedDramRequests = 0;
+    for (const Channel &ch : channels_)
+        report.queuedDramRequests += ch.queue.size();
+}
+
 void
 MemorySystem::finish(int ag)
 {
@@ -156,6 +189,19 @@ void
 MemorySystem::generate(int ag, Cycle now)
 {
     AgState &st = ags_[ag];
+    // Injected AG stall bursts: the generator goes quiet for a stretch
+    // of cycles (a timing-only fault; no data is at risk).
+    if (inj_) {
+        if (now < st.stallUntil)
+            return;
+        if (st.nextElem < st.length) {
+            int burst = inj_->onAgGenerate(ag);
+            if (burst > 0) {
+                st.stallUntil = now + static_cast<Cycle>(burst);
+                return;
+            }
+        }
+    }
     // Strided records burst several words per cycle; indexed (gather/
     // scatter) access is limited to one generated address per cycle.
     int budget = st.indexed ? 1 : 4;
@@ -178,8 +224,28 @@ MemorySystem::generate(int ag, Cycle now)
         if (!recordBase(st, record, base))
             break;
         Addr addr = base + w;
+        if (!MemorySpace::inBounds(addr)) {
+            throw SimError(
+                SimErrorKind::MemoryBounds,
+                strfmt("AG%d %s generated word address 0x%llx outside "
+                       "the 256 MB board address space (element %u, "
+                       "base 0x%llx)",
+                       ag, st.isLoad ? "load" : "store",
+                       static_cast<unsigned long long>(addr),
+                       st.nextElem,
+                       static_cast<unsigned long long>(st.mar.baseWord)));
+        }
         if (!st.isLoad) {
             Word data = srf_.inConsume(st.dataClient, st.nextElem);
+            if (inj_) {
+                // A flip on the way out over the SDRAM pins.
+                FaultInjector::Flip f = inj_->onDramWord(addr, data);
+                if (f.hit) {
+                    data = f.word;
+                    if (f.detected)
+                        st.faultDetected = true;
+                }
+            }
             space_.writeWord(addr, data);
         }
         issueAccess(st, ag, addr, st.nextElem, now);
@@ -259,6 +325,16 @@ MemorySystem::tickChannels(uint64_t memCycle)
         Cycle readyCore = doneMem * cfg_.memClockDivider +
                           cfg_.mcPipelineCycles;
         Word data = req.isWrite ? 0 : space_.readWord(req.wordAddr);
+        // A flip on the way in over the SDRAM pins.  Microcode (sink)
+        // transfers are handled by the UcodeLoad fault site instead.
+        if (inj_ && !req.isWrite && !st.sink) {
+            FaultInjector::Flip f = inj_->onDramWord(req.wordAddr, data);
+            if (f.hit) {
+                data = f.word;
+                if (f.detected)
+                    st.faultDetected = true;
+            }
+        }
         st.deliveries.push({readyCore, req.elem, data});
     }
 }

@@ -36,6 +36,9 @@
 namespace imagine
 {
 
+class FaultInjector;
+struct HangReport;
+
 /** Memory-system statistics. */
 struct MemStats
 {
@@ -77,6 +80,19 @@ class MemorySystem
 
     /** Advance one core cycle. */
     void tick(Cycle now);
+
+    // --- resilience -----------------------------------------------------
+    /** Attach a fault injector (null = no injection; the default). */
+    void setFaultInjector(FaultInjector *inj) { inj_ = inj; }
+    /**
+     * True when a detected-but-uncorrected fault tainted this AG's
+     * stream op (DRAM parity hit, or an SRF parity hit on the load's
+     * destination client).  Checked by the stream controller before
+     * retiring the op; cleared by finish().
+     */
+    bool agFaulted(int ag) const;
+    /** Append AG and channel in-flight state to a hang report. */
+    void dumpHang(HangReport &report) const;
 
     const MemStats &stats() const { return stats_; }
     /** Peak words per core cycle the DRAM interface can move. */
@@ -133,6 +149,8 @@ class MemorySystem
         std::priority_queue<Delivery, std::vector<Delivery>,
                             std::greater<Delivery>> deliveries;
         Cycle startCycle = 0;
+        bool faultDetected = false; ///< DRAM parity hit on this op
+        Cycle stallUntil = 0;       ///< injected AG stall burst end
     };
 
     /** Generate addresses for one AG for this cycle. */
@@ -147,6 +165,7 @@ class MemorySystem
 
     const MachineConfig &cfg_;
     Srf &srf_;
+    FaultInjector *inj_ = nullptr;
     MemorySpace space_;
     std::vector<AgState> ags_;
     std::vector<Channel> channels_;

@@ -1,7 +1,23 @@
 #include "mem/memspace.hh"
 
+#include "sim/error.hh"
+#include "sim/log.hh"
+
 namespace imagine
 {
+
+void
+MemorySpace::outOfBounds(const char *what, Addr wordAddr)
+{
+    // An out-of-range address used to silently allocate a fresh page;
+    // now it is a diagnosable error naming the offending address.
+    throw SimError(
+        SimErrorKind::MemoryBounds,
+        strfmt("%s of word address 0x%llx outside the 256 MB board "
+               "address space (limit 0x%llx)",
+               what, static_cast<unsigned long long>(wordAddr),
+               static_cast<unsigned long long>(sizeWords)));
+}
 
 MemorySpace::Page &
 MemorySpace::page(Addr wordAddr) const
@@ -15,12 +31,16 @@ MemorySpace::page(Addr wordAddr) const
 Word
 MemorySpace::readWord(Addr wordAddr) const
 {
+    if (!inBounds(wordAddr))
+        outOfBounds("read", wordAddr);
     return page(wordAddr)[wordAddr % pageWords];
 }
 
 void
 MemorySpace::writeWord(Addr wordAddr, Word w)
 {
+    if (!inBounds(wordAddr))
+        outOfBounds("write", wordAddr);
     page(wordAddr)[wordAddr % pageWords] = w;
 }
 

@@ -21,6 +21,12 @@ namespace imagine
 class MemorySpace
 {
   public:
+    /** Board address space: 256 MB of SDRAM = 2^26 words. */
+    static constexpr Addr sizeWords = Addr(1) << 26;
+
+    /** True when @p wordAddr lies inside the board address space. */
+    static bool inBounds(Addr wordAddr) { return wordAddr < sizeWords; }
+
     Word readWord(Addr wordAddr) const;
     void writeWord(Addr wordAddr, Word w);
 
@@ -30,6 +36,9 @@ class MemorySpace
 
   private:
     static constexpr Addr pageWords = 1 << 16;
+
+    /** Raise a MemoryBounds SimError for an out-of-range access. */
+    [[noreturn]] static void outOfBounds(const char *what, Addr wordAddr);
     using Page = std::vector<Word>;
     mutable std::unordered_map<Addr, Page> pages_;
 

@@ -19,6 +19,38 @@
 namespace imagine
 {
 
+/** Error protection modeled on a storage array. */
+enum class EccMode : uint8_t
+{
+    None,       ///< flips corrupt data silently
+    Parity,     ///< flips are detected; the owning op is retried
+    Secded      ///< single-bit flips are corrected in place
+};
+
+/**
+ * Fault-injection campaign description (see sim/fault.hh).  All rates
+ * are per-opportunity probabilities in [0, 1]; with enabled == false
+ * the resilience layer is completely inert and the machine's cycle
+ * counts are bit-identical to a build without it.
+ */
+struct FaultPlan
+{
+    bool enabled = false;
+    uint64_t seed = 0x5eed;
+
+    double srfFlipRate = 0.0;       ///< per word written into the SRF
+    double dramFlipRate = 0.0;      ///< per word crossing the SDRAM pins
+    double ucodeCorruptRate = 0.0;  ///< per completed microcode load
+    double stuckSlotRate = 0.0;     ///< per scoreboard-slot completion
+    double agStallRate = 0.0;       ///< per AG address-generation cycle
+    int agStallBurstCycles = 64;    ///< stall length per AgStall fault
+
+    EccMode srfEcc = EccMode::Secded;
+    EccMode memEcc = EccMode::Secded;
+    /** Re-issues of a fault-flagged op before giving up to SimError. */
+    int maxRetries = 2;
+};
+
 /** All architecture and board parameters, defaulted to the prototype. */
 struct MachineConfig
 {
@@ -118,6 +150,19 @@ struct MachineConfig
     int numSdrs = 32;   ///< stream descriptor registers
     int numMars = 8;    ///< memory address registers
     int numUcrs = 32;   ///< micro-controller (kernel parameter) registers
+
+    // ------------------------------------------------------------------
+    // Resilience
+    // ------------------------------------------------------------------
+    /** Fault-injection campaign; inert unless faults.enabled. */
+    FaultPlan faults;
+    /**
+     * Forward-progress watchdog: cycles without any retirement, issue,
+     * or memory progress before run() throws a Hang SimError with a
+     * structured HangReport.  Kept below the cluster array's internal
+     * 2M-cycle wedge detector so the structured report fires first.
+     */
+    uint64_t watchdogStagnationCycles = 1'500'000;
 
     // ------------------------------------------------------------------
     // Derived quantities

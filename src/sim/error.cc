@@ -1,0 +1,87 @@
+#include "sim/error.hh"
+
+#include "sim/log.hh"
+
+namespace imagine
+{
+
+const char *
+simErrorKindName(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::Fatal: return "fatal";
+      case SimErrorKind::Panic: return "panic";
+      case SimErrorKind::Hang: return "hang";
+      case SimErrorKind::MemoryBounds: return "memory-bounds";
+      case SimErrorKind::UnrecoveredFault: return "unrecovered-fault";
+    }
+    return "unknown";
+}
+
+std::string
+HangReport::describe() const
+{
+    std::string out;
+    out += strfmt("hang at cycle %llu (last forward progress at %llu",
+                  static_cast<unsigned long long>(cycle),
+                  static_cast<unsigned long long>(lastProgressCycle));
+    if (cycleLimit)
+        out += strfmt(", cycle limit %llu",
+                      static_cast<unsigned long long>(cycleLimit));
+    out += strfmt("); %llu stream instructions retired\n",
+                  static_cast<unsigned long long>(instrsRetired));
+
+    out += strfmt("scoreboard: %zu occupied slot(s)\n", slots.size());
+    for (const SlotInfo &s : slots) {
+        out += strfmt("  slot instr=%u kind=%s state=%s", s.idx,
+                      s.kind.c_str(), s.state.c_str());
+        if (!s.label.empty())
+            out += strfmt(" label=\"%s\"", s.label.c_str());
+        if (s.ag >= 0)
+            out += strfmt(" ag=%d", s.ag);
+        if (s.retries > 0)
+            out += strfmt(" retries=%d", s.retries);
+        if (!s.waitingOn.empty()) {
+            out += " waiting-on=[";
+            for (size_t i = 0; i < s.waitingOn.size(); ++i)
+                out += strfmt(i ? ",%u" : "%u", s.waitingOn[i]);
+            out += "]";
+        }
+        out += "\n";
+    }
+    if (!depCycle.empty()) {
+        out += "dependency cycle detected: ";
+        for (uint32_t idx : depCycle)
+            out += strfmt("%u -> ", idx);
+        out += strfmt("%u\n", depCycle.front());
+    }
+
+    for (const AgInfo &a : ags) {
+        if (!a.active) {
+            out += strfmt("AG%d: idle\n", a.ag);
+            continue;
+        }
+        out += strfmt("AG%d: %s%s %u/%u words\n", a.ag,
+                      a.sink ? "microcode " : "",
+                      a.isLoad ? "load" : "store", a.completed, a.length);
+    }
+    out += strfmt("memory: %llu DRAM request(s) queued\n",
+                  static_cast<unsigned long long>(queuedDramRequests));
+
+    out += strfmt("host: next instr %zu%s", hostNext,
+                  hostFinished ? " (program fully dispatched)" : "");
+    if (hostBlockedUntil > cycle)
+        out += strfmt(", dependency-blocked until cycle %llu",
+                      static_cast<unsigned long long>(hostBlockedUntil));
+    out += "\n";
+
+    out += strfmt("clusters: %s", clustersBusy ? "busy" : "idle");
+    if (clustersBusy)
+        out += strfmt(" (%llu cycles into current kernel)",
+                      static_cast<unsigned long long>(
+                          clusterKernelCycles));
+    out += "\n";
+    return out;
+}
+
+} // namespace imagine

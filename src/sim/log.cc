@@ -2,7 +2,8 @@
 
 #include <cstdarg>
 #include <cstdio>
-#include <stdexcept>
+
+#include "sim/error.hh"
 
 namespace imagine
 {
@@ -27,7 +28,10 @@ void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::exit(1);
+    // Throwing (rather than exit(1)) lets embedding harnesses and tests
+    // observe fatal errors; standalone binaries catch SimError in main()
+    // and exit with code 1, preserving the old behaviour.
+    throw SimError(SimErrorKind::Fatal, msg);
 }
 
 void
@@ -36,9 +40,9 @@ panicImpl(const char *file, int line, const std::string &msg)
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     // Throwing (rather than abort()) lets death tests and property tests
     // observe internal-inconsistency failures without taking the process
-    // down; main() never catches it, so standalone behaviour matches
-    // abort-with-message.
-    throw std::logic_error(msg);
+    // down.  SimError derives from std::logic_error, so tests observing
+    // panics through that type keep working.
+    throw SimError(SimErrorKind::Panic, msg);
 }
 
 void

@@ -3,8 +3,10 @@
  * Error-reporting helpers in the gem5 tradition.
  *
  * fatal()  - the *user* asked for something impossible (bad config,
- *            malformed kernel); exits with an error code.
- * panic()  - the *simulator* detected an internal inconsistency; aborts.
+ *            malformed kernel); throws SimError(Fatal).  Standalone
+ *            binaries catch it in main() and exit with code 1.
+ * panic()  - the *simulator* detected an internal inconsistency;
+ *            throws SimError(Panic).
  * warn()   - something is suspicious but simulation can continue.
  * inform() - purely informational status output.
  */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.hh"
 #include "sim/log.hh"
 
 namespace imagine
@@ -131,6 +132,14 @@ Srf::outProduce(int client, uint32_t elem, Word w)
     IMAGINE_ASSERT(c.offset + elem < size_,
                    "stream overflow: element %u of stream at %u", elem,
                    c.offset);
+    if (inj_) {
+        FaultInjector::Flip f = inj_->onSrfWrite(c.offset + elem, w);
+        if (f.hit) {
+            w = f.word;
+            if (f.detected)
+                c.faulted = true;
+        }
+    }
     data_[c.offset + elem] = w;
     c.window[elem % c.windowWords] = true;
     c.produced = std::max(c.produced, elem + 1);

@@ -30,6 +30,8 @@
 namespace imagine
 {
 
+class FaultInjector;
+
 /** Aggregate SRF statistics. */
 struct SrfStats
 {
@@ -87,6 +89,15 @@ class Srf
     /** True when every produced word has drained into the array. */
     bool outDrained(int client) const;
 
+    // --- resilience -----------------------------------------------------
+    /** Attach a fault injector (null = no injection; the default). */
+    void setFaultInjector(FaultInjector *inj) { inj_ = inj; }
+    /**
+     * True when a parity-detected bit flip corrupted a word this client
+     * wrote; the owning stream op must be retried.  Cleared by close().
+     */
+    bool clientFaulted(int client) const { return at(client).faulted; }
+
     const SrfStats &stats() const { return stats_; }
 
   private:
@@ -101,12 +112,14 @@ class Srf
         uint32_t produced = 0;      ///< out: highest produced element + 1
         std::vector<bool> window;   ///< consumed (in) / present (out)
         uint32_t windowWords = 0;
+        bool faulted = false;       ///< detected fault in written data
     };
 
     Client &at(int client);
     const Client &at(int client) const;
 
     const MachineConfig &cfg_;
+    FaultInjector *inj_ = nullptr;
     uint32_t size_;
     std::vector<Word> data_;
     std::vector<Client> clients_;

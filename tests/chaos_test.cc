@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Chaos-mode campaigns: every application runs many times under a
+ * randomized (but seeded, hence reproducible) fault plan, cycling the
+ * ECC mode across runs.  The invariant under test is *no silent
+ * corruption*: every run either validates bit-exactly, fails with the
+ * wrong output explained by FaultStats.silent (unprotected arrays), or
+ * surfaces a SimError (hang report / exhausted retry budget).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "apps/apps.hh"
+
+using namespace imagine;
+using namespace imagine::apps;
+
+namespace
+{
+
+constexpr int kRunsPerApp = 50;
+
+MachineConfig
+chaosConfig(int run)
+{
+    MachineConfig cfg = MachineConfig::devBoard();
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 0xc4a05ull * 1000 + static_cast<uint64_t>(run);
+    cfg.faults.srfFlipRate = 1e-4;
+    cfg.faults.dramFlipRate = 1e-4;
+    cfg.faults.ucodeCorruptRate = 0.05;
+    cfg.faults.stuckSlotRate = 1e-3;
+    cfg.faults.agStallRate = 1e-3;
+    cfg.faults.agStallBurstCycles = 32;
+    cfg.faults.maxRetries = 3;
+    switch (run % 3) {
+      case 0:
+        cfg.faults.srfEcc = EccMode::Secded;
+        cfg.faults.memEcc = EccMode::Secded;
+        break;
+      case 1:
+        cfg.faults.srfEcc = EccMode::Parity;
+        cfg.faults.memEcc = EccMode::Parity;
+        break;
+      default:
+        cfg.faults.srfEcc = EccMode::None;
+        cfg.faults.memEcc = EccMode::None;
+        break;
+    }
+    // Small inputs: a wedged run must be reported quickly.
+    cfg.watchdogStagnationCycles = 200'000;
+    return cfg;
+}
+
+/** Run one campaign; every run must be clean, explained, or reported. */
+template <typename RunApp>
+void
+campaign(const char *name, const RunApp &runApp)
+{
+    uint64_t injected = 0;
+    int clean = 0, explained = 0, reported = 0;
+    for (int i = 0; i < kRunsPerApp; ++i) {
+        ImagineSystem sys(chaosConfig(i));
+        try {
+            AppResult r = runApp(sys);
+            injected += r.run.faults.injected;
+            if (r.validated) {
+                ++clean;
+                continue;
+            }
+            // Wrong output with no unprotected corruption and no error
+            // raised would be a silent-corruption escape.
+            ASSERT_GT(r.run.faults.silent, 0u)
+                << name << " run " << i
+                << ": invalid output not explained by FaultStats";
+            ++explained;
+        } catch (const SimError &e) {
+            const FaultStats &fs = sys.faultInjector()->stats();
+            injected += fs.injected;
+            if (e.kind() == SimErrorKind::Hang) {
+                EXPECT_NE(e.hangReport(), nullptr);
+            } else if (e.kind() != SimErrorKind::UnrecoveredFault) {
+                // Unprotected (EccMode::None) corruption of control
+                // data - stream lengths, gather indices - can drive
+                // the model into an assertion; that is surfaced, not
+                // silent, but only acceptable when silent faults were
+                // actually recorded.
+                ASSERT_GT(fs.silent, 0u)
+                    << name << " run " << i << ": unexpected "
+                    << simErrorKindName(e.kind()) << ": " << e.what();
+            }
+            ++reported;
+        }
+    }
+    // The campaign must actually have exercised the fault sites.
+    EXPECT_GT(injected, 0u) << name;
+    EXPECT_EQ(clean + explained + reported, kRunsPerApp) << name;
+    std::printf("[ CHAOS    ] %s: %d clean, %d explained, %d reported\n",
+                name, clean, explained, reported);
+}
+
+} // namespace
+
+TEST(ChaosTest, Depth)
+{
+    campaign("DEPTH", [](ImagineSystem &sys) {
+        DepthConfig cfg;
+        cfg.width = 128;
+        cfg.height = 42;
+        cfg.disparities = 4;
+        return runDepth(sys, cfg);
+    });
+}
+
+TEST(ChaosTest, Mpeg)
+{
+    campaign("MPEG", [](ImagineSystem &sys) {
+        MpegConfig cfg;
+        cfg.width = 64;
+        cfg.height = 32;
+        cfg.frames = 3;
+        return runMpeg(sys, cfg);
+    });
+}
+
+TEST(ChaosTest, Qrd)
+{
+    campaign("QRD", [](ImagineSystem &sys) {
+        QrdConfig cfg;
+        cfg.rows = 64;
+        cfg.cols = 16;
+        return runQrd(sys, cfg);
+    });
+}
+
+TEST(ChaosTest, Rtsl)
+{
+    campaign("RTSL", [](ImagineSystem &sys) {
+        RtslConfig cfg;
+        cfg.screen = 64;
+        cfg.triangles = 256;
+        cfg.batch = 64;
+        return runRtsl(sys, cfg);
+    });
+}

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem and the forward-progress
+ * watchdog: hang diagnostics on unsatisfiable dependencies, seeded
+ * determinism of fault campaigns, ECC correction/detection semantics
+ * and the bounded-retry recovery path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/apps.hh"
+#include "core/system.hh"
+
+using namespace imagine;
+
+namespace
+{
+
+/** A two-instruction program whose deps form a cycle: neither can issue. */
+StreamProgram
+deadlockProgram()
+{
+    StreamProgram prog;
+    StreamInstr a;
+    a.kind = StreamOpKind::Sync;
+    a.deps = {1};
+    a.label = "first";
+    StreamInstr b;
+    b.kind = StreamOpKind::Sync;
+    b.deps = {0};
+    b.label = "second";
+    prog.instrs = {a, b};
+    return prog;
+}
+
+} // namespace
+
+TEST(WatchdogTest, DependencyCycleProducesHangReport)
+{
+    MachineConfig cfg = MachineConfig::devBoard();
+    cfg.watchdogStagnationCycles = 10'000;
+    ImagineSystem sys(cfg);
+    StreamProgram prog = deadlockProgram();
+    try {
+        sys.run(prog);
+        FAIL() << "deadlocked program did not trip the watchdog";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Hang);
+        ASSERT_NE(e.hangReport(), nullptr);
+        const HangReport &hr = *e.hangReport();
+        // Both instructions sit in the scoreboard, each blocked on the
+        // other.
+        ASSERT_EQ(hr.slots.size(), 2u);
+        for (const HangReport::SlotInfo &s : hr.slots) {
+            EXPECT_EQ(s.kind, "Sync");
+            EXPECT_EQ(s.state, "Waiting");
+            ASSERT_EQ(s.waitingOn.size(), 1u);
+            EXPECT_EQ(s.waitingOn[0], s.idx == 0 ? 1u : 0u);
+        }
+        EXPECT_EQ(hr.depCycle.size(), 2u);
+        EXPECT_TRUE(hr.hostFinished);
+        // The human-readable dump names the blocked instructions.
+        std::string text = hr.describe();
+        EXPECT_NE(text.find("first"), std::string::npos);
+        EXPECT_NE(text.find("second"), std::string::npos);
+        EXPECT_NE(text.find("dependency cycle"), std::string::npos);
+    }
+}
+
+TEST(WatchdogTest, StuckCompletionIsNamedInTheReport)
+{
+    MachineConfig cfg = MachineConfig::devBoard();
+    cfg.watchdogStagnationCycles = 10'000;
+    cfg.faults.enabled = true;
+    cfg.faults.stuckSlotRate = 1.0;     // first completion signal lost
+    ImagineSystem sys(cfg);
+    StreamProgram prog;
+    StreamInstr a;
+    a.kind = StreamOpKind::Sync;
+    a.label = "lost";
+    StreamInstr b;
+    b.kind = StreamOpKind::Sync;
+    b.deps = {0};
+    prog.instrs = {a, b};
+    try {
+        sys.run(prog);
+        FAIL() << "stuck completion did not trip the watchdog";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Hang);
+        ASSERT_NE(e.hangReport(), nullptr);
+        const HangReport &hr = *e.hangReport();
+        bool sawStuck = false;
+        for (const HangReport::SlotInfo &s : hr.slots)
+            sawStuck = sawStuck || (s.state == "Stuck" && s.idx == 0);
+        EXPECT_TRUE(sawStuck);
+        EXPECT_TRUE(hr.depCycle.empty());   // a fault, not a bad program
+        EXPECT_GT(sys.faultInjector()->stats().stuckCompletions, 0u);
+    }
+}
+
+TEST(WatchdogTest, CycleLimitStillEnforced)
+{
+    MachineConfig cfg = MachineConfig::devBoard();
+    ImagineSystem sys(cfg);
+    StreamProgram prog = deadlockProgram();
+    try {
+        sys.run(prog, true, 5'000);
+        FAIL() << "cycle limit not enforced";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Hang);
+        ASSERT_NE(e.hangReport(), nullptr);
+        EXPECT_EQ(e.hangReport()->cycleLimit, 5'000u);
+    }
+}
+
+TEST(MemoryBoundsTest, AgAddressOutsideBoardSpaceIsNamed)
+{
+    ImagineSystem sys(MachineConfig::devBoard());
+    auto b = sys.newProgram();
+    uint32_t off = b.alloc(64);
+    b.load(b.marStride(MemorySpace::sizeWords - 8), b.sdr(off, 64), -1,
+           "oob load");
+    StreamProgram prog = b.take();
+    try {
+        sys.run(prog);
+        FAIL() << "out-of-bounds AG access did not throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::MemoryBounds);
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("AG"), std::string::npos);
+        EXPECT_NE(msg.find("256 MB"), std::string::npos);
+    }
+}
+
+namespace
+{
+
+MachineConfig
+faultyConfig(uint64_t seed)
+{
+    MachineConfig cfg = MachineConfig::devBoard();
+    cfg.faults.enabled = true;
+    cfg.faults.seed = seed;
+    cfg.faults.srfFlipRate = 1e-4;
+    cfg.faults.dramFlipRate = 1e-4;
+    cfg.faults.ucodeCorruptRate = 0.05;
+    cfg.faults.agStallRate = 1e-4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(FaultTest, SameSeedSameTrace)
+{
+    auto campaign = [](uint64_t seed) {
+        ImagineSystem sys(faultyConfig(seed));
+        apps::QrdConfig qc;
+        qc.rows = 64;
+        qc.cols = 16;
+        return apps::runQrd(sys, qc);
+    };
+    apps::AppResult r1 = campaign(0x1234);
+    apps::AppResult r2 = campaign(0x1234);
+    EXPECT_GT(r1.run.faults.injected, 0u);
+    EXPECT_EQ(r1.run.faultTrace, r2.run.faultTrace);
+    EXPECT_EQ(r1.run.faults.injected, r2.run.faults.injected);
+    EXPECT_EQ(r1.run.faults.corrected, r2.run.faults.corrected);
+    EXPECT_EQ(r1.run.faults.detected, r2.run.faults.detected);
+    EXPECT_EQ(r1.run.faults.silent, r2.run.faults.silent);
+    EXPECT_EQ(r1.run.faults.retries, r2.run.faults.retries);
+    EXPECT_EQ(r1.run.cycles, r2.run.cycles);
+    EXPECT_EQ(r1.validated, r2.validated);
+    // A different seed perturbs the campaign.
+    apps::AppResult r3 = campaign(0x9999);
+    EXPECT_NE(r1.run.faultTrace, r3.run.faultTrace);
+}
+
+TEST(FaultTest, SecdedCorrectsEveryFlipInPlace)
+{
+    MachineConfig cfg = faultyConfig(0x51);
+    cfg.faults.ucodeCorruptRate = 0.0;  // flips only
+    cfg.faults.agStallRate = 0.0;
+    cfg.faults.srfEcc = EccMode::Secded;
+    cfg.faults.memEcc = EccMode::Secded;
+    ImagineSystem sys(cfg);
+    apps::QrdConfig qc;
+    qc.rows = 64;
+    qc.cols = 16;
+    apps::AppResult r = apps::runQrd(sys, qc);
+    EXPECT_TRUE(r.validated);
+    EXPECT_GT(r.run.faults.injected, 0u);
+    EXPECT_EQ(r.run.faults.corrected, r.run.faults.injected);
+    EXPECT_EQ(r.run.faults.silent, 0u);
+    EXPECT_EQ(r.run.faults.retries, 0u);
+}
+
+TEST(FaultTest, ParityDetectionDrivesRetryToCorrectOutput)
+{
+    MachineConfig cfg = faultyConfig(0x77);
+    cfg.faults.ucodeCorruptRate = 0.0;
+    cfg.faults.agStallRate = 0.0;
+    cfg.faults.srfEcc = EccMode::Parity;
+    cfg.faults.memEcc = EccMode::Parity;
+    cfg.faults.maxRetries = 6;
+    ImagineSystem sys(cfg);
+    apps::QrdConfig qc;
+    qc.rows = 64;
+    qc.cols = 16;
+    apps::AppResult r = apps::runQrd(sys, qc);
+    EXPECT_TRUE(r.validated);
+    EXPECT_GT(r.run.faults.detected, 0u);
+    EXPECT_GT(r.run.faults.retries, 0u);
+    EXPECT_EQ(r.run.faults.silent, 0u);
+}
+
+TEST(FaultTest, DisabledPlanChangesNothing)
+{
+    apps::QrdConfig qc;
+    qc.rows = 64;
+    qc.cols = 16;
+    ImagineSystem clean(MachineConfig::devBoard());
+    apps::AppResult r1 = apps::runQrd(clean, qc);
+    MachineConfig cfg = MachineConfig::devBoard();
+    cfg.faults.enabled = false;
+    cfg.faults.srfFlipRate = 0.5;   // ignored while disabled
+    ImagineSystem off(cfg);
+    apps::AppResult r2 = apps::runQrd(off, qc);
+    EXPECT_EQ(off.faultInjector(), nullptr);
+    EXPECT_EQ(r1.run.cycles, r2.run.cycles);
+    EXPECT_EQ(r2.run.faults.injected, 0u);
+    EXPECT_TRUE(r2.run.faultTrace.empty());
+}

@@ -9,6 +9,7 @@
 
 #include "mem/memory.hh"
 #include "sim/config.hh"
+#include "sim/error.hh"
 #include "sim/rng.hh"
 #include "srf/srf.hh"
 
@@ -53,14 +54,28 @@ TEST(MemSpaceTest, FunctionalAndSparse)
     MemorySpace ms;
     ms.writeWord(0, 1);
     ms.writeWord(1'000'000, 2);
-    ms.writeWord((1ull << 26) + 5, 3);
+    ms.writeWord(MemorySpace::sizeWords - 1, 3);
     EXPECT_EQ(ms.readWord(0), 1u);
     EXPECT_EQ(ms.readWord(1'000'000), 2u);
-    EXPECT_EQ(ms.readWord((1ull << 26) + 5), 3u);
+    EXPECT_EQ(ms.readWord(MemorySpace::sizeWords - 1), 3u);
     EXPECT_EQ(ms.readWord(77), 0u);     // untouched reads as zero
     ms.writeWords(10, {4, 5, 6});
     auto back = ms.readWords(10, 3);
     EXPECT_EQ(back, (std::vector<Word>{4, 5, 6}));
+}
+
+TEST(MemSpaceTest, OutOfBoundsAccessIsDiagnosed)
+{
+    MemorySpace ms;
+    try {
+        ms.writeWord(MemorySpace::sizeWords, 1);
+        FAIL() << "out-of-bounds write did not throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::MemoryBounds);
+        EXPECT_NE(std::string(e.what()).find("256 MB"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(ms.readWord(MemorySpace::sizeWords + 123), SimError);
 }
 
 TEST(MemoryTest, UnitStrideLoadIsCorrect)

@@ -51,7 +51,14 @@ TEST(SrfAllocatorTest, ExhaustionIsFatal)
 {
     SrfAllocator a(100);
     a.alloc(60);
-    EXPECT_EXIT(a.alloc(60), ::testing::ExitedWithCode(1), "exhausted");
+    try {
+        a.alloc(60);
+        FAIL() << "exhausted allocator did not throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Fatal);
+        EXPECT_NE(std::string(e.what()).find("exhausted"),
+                  std::string::npos);
+    }
 }
 
 TEST(SrfAllocatorTest, DoubleFreePanics)
