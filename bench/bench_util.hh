@@ -23,6 +23,7 @@
 #include "core/system.hh"
 #include "sim/log.hh"
 #include "sim/rng.hh"
+#include "sim/runner.hh"
 
 namespace imagine::bench
 {
@@ -135,24 +136,18 @@ struct AppRuns
 inline AppRuns
 runAllApps(const MachineConfig &cfg)
 {
-    AppRuns r;
-    {
-        ImagineSystem sys(cfg);
-        r.depth = apps::runDepth(sys);
-    }
-    {
-        ImagineSystem sys(cfg);
-        r.mpeg = apps::runMpeg(sys);
-    }
-    {
-        ImagineSystem sys(cfg);
-        r.qrd = apps::runQrd(sys);
-    }
-    {
-        ImagineSystem sys(cfg);
-        r.rtsl = apps::runRtsl(sys);
-    }
-    return r;
+    SimBatch batch;
+    std::vector<apps::AppResult> rs = batch.run(4, [&](int i) {
+        ImagineSystem sys(cfg);    // private session per job
+        switch (i) {
+          case 0: return apps::runDepth(sys);
+          case 1: return apps::runMpeg(sys);
+          case 2: return apps::runQrd(sys);
+          default: return apps::runRtsl(sys);
+        }
+    });
+    return AppRuns{std::move(rs[0]), std::move(rs[1]),
+                   std::move(rs[2]), std::move(rs[3])};
 }
 
 /** Standard tail: pass remaining args to google-benchmark and run. */

@@ -12,6 +12,8 @@
 
 #include "bench_util.hh"
 
+#include <iterator>
+
 #include "kernels/microbench.hh"
 
 using namespace imagine;
@@ -77,14 +79,22 @@ main(int argc, char **argv)
     const int mains[] = {8, 16, 32, 64, 128, 256};
     const uint32_t lens[] = {8, 16, 32, 64, 128, 256, 512, 1024, 2048,
                              4096};
+    const int nm = static_cast<int>(std::size(mains));
+    const int nl = static_cast<int>(std::size(lens));
+    // Every cell is an independent session: batch the whole grid.
+    SimBatch batch;
+    std::vector<double> gops =
+        batch.run(nm * nl, [&](int i) {
+            return measure(mains[i % nm], 64, lens[i / nm]);
+        });
     std::printf("%-10s", "len\\main");
     for (int m : mains)
         std::printf("%9d", m);
     std::printf("%10s\n", "ideal");
-    for (uint32_t len : lens) {
-        std::printf("%-10u", len);
-        for (int m : mains)
-            std::printf("%9.2f", measure(m, 64, len));
+    for (int l = 0; l < nl; ++l) {
+        std::printf("%-10u", lens[l]);
+        for (int m = 0; m < nm; ++m)
+            std::printf("%9.2f", gops[static_cast<size_t>(l * nm + m)]);
         std::printf("%10.2f\n", 4.8);
     }
     std::printf("\nGOPS; paper shape: ideal 4.8 GOPS, short streams "

@@ -11,6 +11,8 @@
 
 #include "bench_util.hh"
 
+#include <iterator>
+
 #include "kernels/microbench.hh"
 
 using namespace imagine;
@@ -73,14 +75,21 @@ main(int argc, char **argv)
     const int prologues[] = {8, 16, 32, 64, 128, 256};
     const uint32_t lens[] = {8, 16, 32, 64, 128, 256, 512, 1024, 2048,
                              4096};
+    const int np = static_cast<int>(std::size(prologues));
+    const int nl = static_cast<int>(std::size(lens));
+    SimBatch batch;
+    std::vector<double> gops =
+        batch.run(np * nl, [&](int i) {
+            return measure(prologues[i % np], lens[i / np]);
+        });
     std::printf("%-10s", "len\\pro");
     for (int p : prologues)
         std::printf("%9d", p);
     std::printf("\n");
-    for (uint32_t len : lens) {
-        std::printf("%-10u", len);
-        for (int p : prologues)
-            std::printf("%9.2f", measure(p, len));
+    for (int l = 0; l < nl; ++l) {
+        std::printf("%-10u", lens[l]);
+        for (int p = 0; p < np; ++p)
+            std::printf("%9.2f", gops[static_cast<size_t>(l * np + p)]);
         std::printf("\n");
     }
     std::printf("\nGOPS; paper shape: for streams <= 64 shorter "

@@ -14,6 +14,8 @@
 
 #include "bench_util.hh"
 
+#include <iterator>
+
 using namespace imagine;
 using namespace imagine::bench;
 
@@ -81,6 +83,29 @@ memBandwidth(const MemPattern &pat, uint32_t len, int ags)
     return sys.run(prog).memGBs;
 }
 
+/** Batch the full patterns x lengths grid for @p ags AGs and print it. */
+inline void
+printMemGrid(const uint32_t *lens, int nl, int ags)
+{
+    const auto &pats = memPatterns();
+    const int np = static_cast<int>(pats.size());
+    SimBatch batch;
+    std::vector<double> gbs = batch.run(np * nl, [&](int i) {
+        return memBandwidth(pats[static_cast<size_t>(i / nl)],
+                            lens[i % nl], ags);
+    });
+    std::printf("%-22s", "pattern\\len");
+    for (int l = 0; l < nl; ++l)
+        std::printf("%8u", lens[l]);
+    std::printf("\n");
+    for (int p = 0; p < np; ++p) {
+        std::printf("%-22s", pats[static_cast<size_t>(p)].name);
+        for (int l = 0; l < nl; ++l)
+            std::printf("%8.3f", gbs[static_cast<size_t>(p * nl + l)]);
+        std::printf("\n");
+    }
+}
+
 } // namespace imagine::bench
 
 #ifndef IMAGINE_BENCH_FIG10_INCLUDED
@@ -115,16 +140,7 @@ main(int argc, char **argv)
     header("Figure 9: Memory system performance from a single AG "
            "(GB/s)");
     const uint32_t lens[] = {8, 32, 128, 512, 2048, 8192, 16384};
-    std::printf("%-22s", "pattern\\len");
-    for (uint32_t len : lens)
-        std::printf("%8u", len);
-    std::printf("\n");
-    for (const auto &pat : memPatterns()) {
-        std::printf("%-22s", pat.name);
-        for (uint32_t len : lens)
-            std::printf("%8.3f", memBandwidth(pat, len, 1));
-        std::printf("\n");
-    }
+    printMemGrid(lens, static_cast<int>(std::size(lens)), 1);
     std::printf("\nPaper shape: lengths < 64 host-interface bound; "
                 "unit stride -> ~1.26 GB/s (precharge bug costs ~20%%); "
                 "idx-16 hits the controller cache and is AG-limited "

@@ -44,16 +44,7 @@ main(int argc, char **argv)
 
     header("Figure 10: Memory system performance from two AGs (GB/s)");
     const uint32_t lens[] = {8, 32, 128, 512, 2048, 4096, 8192};
-    std::printf("%-22s", "pattern\\len");
-    for (uint32_t len : lens)
-        std::printf("%8u", len);
-    std::printf("\n");
-    for (const auto &pat : memPatterns()) {
-        std::printf("%-22s", pat.name);
-        for (uint32_t len : lens)
-            std::printf("%8.3f", memBandwidth(pat, len, 2));
-        std::printf("\n");
-    }
+    printMemGrid(lens, static_cast<int>(std::size(lens)), 2);
     std::printf("\nPaper shape: higher bandwidth than one AG when the "
                 "two streams avoid bank conflicts; idx-16 approaches "
                 "the 1.6 GB/s peak asymptotically.\n");

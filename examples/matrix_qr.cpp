@@ -5,12 +5,16 @@
  * numerically, and reports the machine-level metrics the paper
  * highlights for QRD (GFLOPS, IPC, power).
  *
- *   ./examples/matrix_qr [rows cols]
+ *   ./examples/matrix_qr [--json] [rows cols]
+ *
+ * With --json, prints the RunResult as JSON (schema in README.md)
+ * instead of the human-readable report.
  */
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "apps/apps.hh"
 
@@ -20,6 +24,11 @@ using namespace imagine::apps;
 int
 main(int argc, char **argv)
 try {
+    bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+    if (json) {
+        --argc;
+        ++argv;
+    }
     QrdConfig cfg;
     if (argc >= 3) {
         cfg.rows = std::atoi(argv[1]);
@@ -27,6 +36,10 @@ try {
     }
     ImagineSystem sys(MachineConfig::devBoard());
     AppResult r = runQrd(sys, cfg);
+    if (json) {
+        std::printf("%s\n", r.run.toJson().c_str());
+        return r.validated ? 0 : 1;
+    }
     std::printf("%s\nvalidated=%d (bit-exact vs golden pipeline)\n",
                 r.summary.c_str(), static_cast<int>(r.validated));
     std::printf("cycles=%.3fM  %.2f GFLOPS  IPC=%.1f  %.2f W\n",

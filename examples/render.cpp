@@ -5,10 +5,14 @@
  * as ASCII art, plus the host-dependency statistics that make RTSL the
  * paper's overhead case study.
  *
- *   ./examples/render
+ *   ./examples/render [--json]
+ *
+ * With --json, prints the RunResult as JSON (schema in README.md)
+ * instead of the human-readable report.
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "apps/apps.hh"
 
@@ -16,8 +20,9 @@ using namespace imagine;
 using namespace imagine::apps;
 
 int
-main()
+main(int argc, char **argv)
 try {
+    bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
     ImagineSystem sys(MachineConfig::devBoard());
     RtslConfig cfg;
     cfg.screen = 96;
@@ -25,6 +30,10 @@ try {
     cfg.batch = 192;
     AppResult r = runRtsl(sys, cfg);
 
+    if (json) {
+        std::printf("%s\n", r.run.toJson().c_str());
+        return r.validated ? 0 : 1;
+    }
     std::printf("%s\nvalidated=%d\n", r.summary.c_str(),
                 static_cast<int>(r.validated));
     std::printf("cycles=%.3fM  %.2f GOPS  IPC=%.1f  %.2f W\n",

@@ -4,10 +4,14 @@
  * section 2.1): runs the full DEPTH pipeline on a synthetic stereo
  * pair and renders the recovered disparity map as ASCII art.
  *
- *   ./examples/stereo_depth
+ *   ./examples/stereo_depth [--json]
+ *
+ * With --json, prints the RunResult as JSON (schema in README.md)
+ * instead of the human-readable report.
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "apps/apps.hh"
 
@@ -15,14 +19,20 @@ using namespace imagine;
 using namespace imagine::apps;
 
 int
-main()
+main(int argc, char **argv)
 try {
+    bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
     ImagineSystem sys(MachineConfig::devBoard());
     DepthConfig cfg;
     cfg.width = 512;
     cfg.height = 46;    // 32 valid output rows
     cfg.disparities = 8;
     AppResult r = runDepth(sys, cfg);
+
+    if (json) {
+        std::printf("%s\n", r.run.toJson().c_str());
+        return r.validated ? 0 : 1;
+    }
 
     std::printf("%s\nvalidated=%d  cycles=%.2fM  %.2f GOPS  %.2f W\n\n",
                 r.summary.c_str(), static_cast<int>(r.validated),

@@ -4,11 +4,15 @@
  * (intra frame + motion-predicted frames) and reports compression
  * statistics alongside the machine metrics.
  *
- *   ./examples/video_encode [frames]
+ *   ./examples/video_encode [--json] [frames]
+ *
+ * With --json, prints the RunResult as JSON (schema in README.md)
+ * instead of the human-readable report.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "apps/apps.hh"
 
@@ -18,12 +22,21 @@ using namespace imagine::apps;
 int
 main(int argc, char **argv)
 try {
+    bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+    if (json) {
+        --argc;
+        ++argv;
+    }
     MpegConfig cfg;
     if (argc >= 2)
         cfg.frames = std::atoi(argv[1]);
     ImagineSystem sys(MachineConfig::devBoard());
     AppResult r = runMpeg(sys, cfg);
 
+    if (json) {
+        std::printf("%s\n", r.run.toJson().c_str());
+        return r.validated ? 0 : 1;
+    }
     std::printf("%s\nvalidated=%d (reconstruction and bitstream "
                 "bit-exact vs golden)\n",
                 r.summary.c_str(), static_cast<int>(r.validated));

@@ -3,9 +3,41 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "sim/stats.hh"
 
 namespace imagine
 {
+
+void
+ClusterStats::registerOn(StatsRegistry &reg, const std::string &prefix)
+{
+    reg.scalar(prefix + ".startupCycles", &startupCycles);
+    reg.scalar(prefix + ".prologueCycles", &prologueCycles);
+    reg.scalar(prefix + ".loopCycles", &loopCycles);
+    reg.scalar(prefix + ".epilogueCycles", &epilogueCycles);
+    reg.scalar(prefix + ".shutdownCycles", &shutdownCycles);
+    reg.scalar(prefix + ".stallCycles", &stallCycles);
+    reg.scalar(prefix + ".primingCycles", &primingCycles);
+    reg.scalar(prefix + ".issuedOps", &issuedOps);
+    reg.scalar(prefix + ".arithOps", &arithOps);
+    reg.scalar(prefix + ".fpOps", &fpOps);
+    reg.scalar(prefix + ".lrfReads", &lrfReads);
+    reg.scalar(prefix + ".lrfWrites", &lrfWrites);
+    reg.scalar(prefix + ".spAccesses", &spAccesses);
+    reg.scalar(prefix + ".commWords", &commWords);
+    reg.scalar(prefix + ".sbReads", &sbReads);
+    reg.scalar(prefix + ".sbWrites", &sbWrites);
+    reg.scalar(prefix + ".kernelsRun", &kernelsRun);
+    reg.scalar(prefix + ".kernelStreamWords", &kernelStreamWords);
+    reg.histogram(prefix + ".kernelCycles", kernelCycleHist,
+                  numKernelCycleBuckets);
+}
+
+void
+ClusterArray::registerStats(StatsRegistry &reg)
+{
+    stats_.registerOn(reg, componentName());
+}
 
 using kernelc::CompiledKernel;
 using kernelc::Node;
@@ -384,6 +416,8 @@ void
 ClusterArray::retire()
 {
     IMAGINE_ASSERT(done(), "retire before kernel completion");
+    ++stats_.kernelCycleHist[StatsRegistry::bucketOf(
+        kernelCycles_, ClusterStats::numKernelCycleBuckets)];
     phase_ = Phase::Idle;
 }
 

@@ -26,11 +26,14 @@
 #include <vector>
 
 #include "kernelc/schedule.hh"
+#include "sim/component.hh"
 #include "sim/config.hh"
 #include "srf/srf.hh"
 
 namespace imagine
 {
+
+class StatsRegistry;
 
 /** Cumulative cluster-array statistics. */
 struct ClusterStats
@@ -57,15 +60,22 @@ struct ClusterStats
     uint64_t kernelsRun = 0;
     uint64_t kernelStreamWords = 0; ///< sum of per-run max stream length
 
+    /** Per-launch kernel run lengths, power-of-two bucketed. */
+    static constexpr size_t numKernelCycleBuckets = 16;
+    uint64_t kernelCycleHist[numKernelCycleBuckets] = {};
+
     uint64_t busyTotal() const
     {
         return startupCycles + prologueCycles + loopCycles +
                epilogueCycles + shutdownCycles + stallCycles;
     }
+
+    /** Register every counter on @p reg under @p prefix. */
+    void registerOn(StatsRegistry &reg, const std::string &prefix);
 };
 
 /** The SIMD cluster array. */
-class ClusterArray
+class ClusterArray : public Component
 {
   public:
     /** Stream binding passed at kernel launch. */
@@ -100,6 +110,12 @@ class ClusterArray
     void retire();
 
     void tick();
+
+    // --- Component ------------------------------------------------------
+    const char *componentName() const override { return "cluster"; }
+    void tick(Cycle) override { tick(); }
+    void registerStats(StatsRegistry &reg) override;
+    void resetStats() override { stats_ = {}; }
 
     // --- micro-controller scalar registers ----------------------------
     Word ucr(int i) const { return ucrs_.at(static_cast<size_t>(i)); }

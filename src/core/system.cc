@@ -2,14 +2,30 @@
 
 #include <algorithm>
 
+#include "kernelc/compile_cache.hh"
 #include "sim/log.hh"
 
 namespace imagine
 {
 
+namespace
+{
+
+/** Element names for the clusters-idle vector, indexed by IdleCause. */
+const std::vector<std::string> &
+idleCauseNames()
+{
+    static const std::vector<std::string> names = {
+        "none", "ucode", "mem", "sc", "host"};
+    return names;
+}
+
+} // namespace
+
 ImagineSystem::ImagineSystem(const MachineConfig &cfg)
     : cfg_(cfg), srf_(cfg_), mem_(cfg_, srf_), clusters_(cfg_, srf_),
-      sc_(cfg_, srf_, mem_, clusters_, kernels_), host_(cfg_, sc_)
+      sc_(cfg_, srf_, mem_, clusters_, kernels_), host_(cfg_, sc_),
+      components_{&host_, &sc_, &clusters_, &mem_, &srf_}
 {
     if (cfg_.faults.enabled) {
         inj_ = std::make_unique<FaultInjector>(cfg_.faults);
@@ -17,19 +33,44 @@ ImagineSystem::ImagineSystem(const MachineConfig &cfg)
         mem_.setFaultInjector(inj_.get());
         sc_.setFaultInjector(inj_.get());
     }
+
+    for (Component *c : components_)
+        c->registerStats(stats_);
+    if (inj_)
+        inj_->registerStats(stats_);
+    stats_.vector("system.idleCycles", idleCycles_, idleCauseNames());
+    // Process-wide compile-cache counters, exposed per session as
+    // read-only callback stats.
+    stats_.scalar("kernelc.cacheHits", [] {
+        return kernelc::CompileCache::instance().hits();
+    });
+    stats_.scalar("kernelc.cacheMisses", [] {
+        return kernelc::CompileCache::instance().misses();
+    });
+}
+
+void
+ImagineSystem::resetStats()
+{
+    for (Component *c : components_)
+        c->resetStats();
+    for (uint64_t &c : idleCycles_)
+        c = 0;
 }
 
 uint16_t
 ImagineSystem::registerKernel(kernelc::KernelGraph g)
 {
-    return registerKernel(kernelc::compile(std::move(g), cfg_));
+    return registerKernel(std::move(g), kernelc::CompileOptions{});
 }
 
 uint16_t
 ImagineSystem::registerKernel(kernelc::KernelGraph g,
                               const kernelc::CompileOptions &opts)
 {
-    return registerKernel(kernelc::compile(std::move(g), cfg_, opts));
+    std::shared_ptr<const kernelc::CompiledKernel> k =
+        kernelc::CompileCache::instance().compile(g, cfg_, opts);
+    return registerKernel(kernelc::CompiledKernel(*k));
 }
 
 uint16_t
@@ -39,120 +80,29 @@ ImagineSystem::registerKernel(kernelc::CompiledKernel k)
     return static_cast<uint16_t>(kernels_.size() - 1);
 }
 
-namespace
+void
+registerRunStats(StatsRegistry &reg, RunResult &r)
 {
-
-ClusterStats
-diff(const ClusterStats &a, const ClusterStats &b)
-{
-    ClusterStats d;
-    d.startupCycles = a.startupCycles - b.startupCycles;
-    d.prologueCycles = a.prologueCycles - b.prologueCycles;
-    d.loopCycles = a.loopCycles - b.loopCycles;
-    d.epilogueCycles = a.epilogueCycles - b.epilogueCycles;
-    d.shutdownCycles = a.shutdownCycles - b.shutdownCycles;
-    d.stallCycles = a.stallCycles - b.stallCycles;
-    d.primingCycles = a.primingCycles - b.primingCycles;
-    d.issuedOps = a.issuedOps - b.issuedOps;
-    d.arithOps = a.arithOps - b.arithOps;
-    d.fpOps = a.fpOps - b.fpOps;
-    d.lrfReads = a.lrfReads - b.lrfReads;
-    d.lrfWrites = a.lrfWrites - b.lrfWrites;
-    d.spAccesses = a.spAccesses - b.spAccesses;
-    d.commWords = a.commWords - b.commWords;
-    d.sbReads = a.sbReads - b.sbReads;
-    d.sbWrites = a.sbWrites - b.sbWrites;
-    d.kernelsRun = a.kernelsRun - b.kernelsRun;
-    d.kernelStreamWords = a.kernelStreamWords - b.kernelStreamWords;
-    return d;
+    r.cluster.registerOn(reg, "cluster");
+    r.srf.registerOn(reg, "srf");
+    r.mem.registerOn(reg, "mem");
+    r.sc.registerOn(reg, "sc");
+    r.host.registerOn(reg, "host");
+    r.faults.registerOn(reg, "faults");
+    reg.vector("system.idleCycles", r.idleCycles, idleCauseNames());
 }
-
-SrfStats
-diff(const SrfStats &a, const SrfStats &b)
-{
-    return {a.wordsTransferred - b.wordsTransferred,
-            a.busyCycles - b.busyCycles};
-}
-
-MemStats
-diff(const MemStats &a, const MemStats &b)
-{
-    MemStats d;
-    d.wordsLoaded = a.wordsLoaded - b.wordsLoaded;
-    d.wordsStored = a.wordsStored - b.wordsStored;
-    d.cacheHits = a.cacheHits - b.cacheHits;
-    d.dramAccesses = a.dramAccesses - b.dramAccesses;
-    d.rowMisses = a.rowMisses - b.rowMisses;
-    d.bugPrecharges = a.bugPrecharges - b.bugPrecharges;
-    d.channelBusyMemCycles =
-        a.channelBusyMemCycles - b.channelBusyMemCycles;
-    return d;
-}
-
-ScStats
-diff(const ScStats &a, const ScStats &b)
-{
-    ScStats d;
-    d.instrsRetired = a.instrsRetired - b.instrsRetired;
-    for (int i = 0; i < static_cast<int>(StreamOpKind::NumKinds); ++i)
-        d.kindCount[i] = a.kindCount[i] - b.kindCount[i];
-    d.ucodeLoadsIssued = a.ucodeLoadsIssued - b.ucodeLoadsIssued;
-    d.ucodeWordsLoaded = a.ucodeWordsLoaded - b.ucodeWordsLoaded;
-    d.memOpWords = a.memOpWords - b.memOpWords;
-    d.memStreamOps = a.memStreamOps - b.memStreamOps;
-    return d;
-}
-
-HostStats
-diff(const HostStats &a, const HostStats &b)
-{
-    HostStats d;
-    d.instrsSent = a.instrsSent - b.instrsSent;
-    d.scoreboardFullCycles =
-        a.scoreboardFullCycles - b.scoreboardFullCycles;
-    d.dependencyStallCycles =
-        a.dependencyStallCycles - b.dependencyStallCycles;
-    d.interfaceBusyCycles = a.interfaceBusyCycles - b.interfaceBusyCycles;
-    return d;
-}
-
-FaultStats
-diff(const FaultStats &a, const FaultStats &b)
-{
-    FaultStats d;
-    d.injected = a.injected - b.injected;
-    d.corrected = a.corrected - b.corrected;
-    d.detected = a.detected - b.detected;
-    d.silent = a.silent - b.silent;
-    d.perfOnly = a.perfOnly - b.perfOnly;
-    d.retries = a.retries - b.retries;
-    d.retriesExhausted = a.retriesExhausted - b.retriesExhausted;
-    d.stuckCompletions = a.stuckCompletions - b.stuckCompletions;
-    d.agStallCycles = a.agStallCycles - b.agStallCycles;
-    for (int i = 0; i < static_cast<int>(FaultSite::NumSites); ++i)
-        d.bySite[i] = a.bySite[i] - b.bySite[i];
-    return d;
-}
-
-} // namespace
 
 RunResult
 ImagineSystem::run(const StreamProgram &program, bool playback,
                    uint64_t cycleLimit)
 {
-    ClusterStats cs0 = clusters_.stats();
-    SrfStats ss0 = srf_.stats();
-    MemStats ms0 = mem_.stats();
-    ScStats sc0 = sc_.stats();
-    HostStats hs0 = host_.stats();
-    FaultStats fs0 = inj_ ? inj_->stats() : FaultStats{};
+    StatsSnapshot before = stats_.snapshot();
     size_t trace0 = inj_ ? inj_->trace().size() : 0;
 
     host_.loadProgram(program, playback);
 
     RunResult r;
     uint64_t start = cycle_;
-    uint64_t idle[5] = {};  // indexed by IdleCause
 
     // Forward-progress watchdog: "progress" is any retirement, cluster
     // issue, memory word moved, or host instruction sent.  A machine
@@ -177,7 +127,7 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
         mem_.tick(cycle_);
         srf_.tick();
         if (!clusters_.busy())
-            ++idle[static_cast<int>(sc_.idleCause())];
+            ++idleCycles_[static_cast<int>(sc_.idleCause())];
         ++cycle_;
 
         uint64_t m = progress();
@@ -209,13 +159,15 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
 
     r.cycles = cycle_ - start;
     r.seconds = static_cast<double>(r.cycles) / cfg_.coreClockHz;
-    r.cluster = diff(clusters_.stats(), cs0);
-    r.srf = diff(srf_.stats(), ss0);
-    r.mem = diff(mem_.stats(), ms0);
-    r.sc = diff(sc_.stats(), sc0);
-    r.host = diff(host_.stats(), hs0);
+
+    // Pour this run's delta of every engine counter into the result's
+    // iso-structured registry: same names, registered over the structs
+    // inside r.  Replaces per-struct diff plumbing.
+    StatsDelta d = stats_.delta(before);
+    StatsRegistry resultReg;
+    registerRunStats(resultReg, r);
+    resultReg.assign(d);
     if (inj_) {
-        r.faults = diff(inj_->stats(), fs0);
         const std::vector<FaultEvent> &t = inj_->trace();
         r.faultTrace.assign(t.begin() + static_cast<long>(trace0),
                             t.end());
@@ -223,10 +175,11 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
 
     // --- Fig. 11 attribution -------------------------------------------
     ExecBreakdown &bd = r.breakdown;
-    bd.ucodeStall = idle[static_cast<int>(IdleCause::UcodeLoad)];
-    bd.memStall = idle[static_cast<int>(IdleCause::Memory)];
-    bd.scOverhead = idle[static_cast<int>(IdleCause::ScOverhead)];
-    bd.hostStall = idle[static_cast<int>(IdleCause::Host)];
+    bd.ucodeStall = r.idleCycles[static_cast<int>(IdleCause::UcodeLoad)];
+    bd.memStall = r.idleCycles[static_cast<int>(IdleCause::Memory)];
+    bd.scOverhead =
+        r.idleCycles[static_cast<int>(IdleCause::ScOverhead)];
+    bd.hostStall = r.idleCycles[static_cast<int>(IdleCause::Host)];
 
     uint64_t steady = r.cluster.loopCycles -
                       std::min(r.cluster.primingCycles,
@@ -283,6 +236,70 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
     r.watts = estimatePower(r.activity, r.cycles, cfg_);
 
     return r;
+}
+
+namespace
+{
+
+const char *
+faultOutcomeName(FaultOutcome o)
+{
+    switch (o) {
+      case FaultOutcome::Corrected: return "corrected";
+      case FaultOutcome::Detected: return "detected";
+      case FaultOutcome::Silent: return "silent";
+      case FaultOutcome::Perf: return "perf";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+std::string
+RunResult::toJson() const
+{
+    // Registration only stores pointers into the result's structs; the
+    // registry is used read-only here, so the const_cast never writes.
+    StatsRegistry reg;
+    registerRunStats(reg, const_cast<RunResult &>(*this));
+
+    auto u64 = [](uint64_t v) {
+        return strfmt("%llu", static_cast<unsigned long long>(v));
+    };
+    std::string out = "{";
+    out += "\"cycles\":" + u64(cycles);
+    out += strfmt(",\"seconds\":%.17g", seconds);
+    out += strfmt(",\"gops\":%.17g,\"gflops\":%.17g,\"ipc\":%.17g",
+                  gops, gflops, ipc);
+    out += strfmt(",\"lrfGBs\":%.17g,\"srfGBs\":%.17g,\"memGBs\":%.17g",
+                  lrfGBs, srfGBs, memGBs);
+    out += strfmt(",\"hostMips\":%.17g,\"watts\":%.17g", hostMips,
+                  watts);
+    out += ",\"breakdown\":{";
+    out += "\"operations\":" + u64(breakdown.operations);
+    out += ",\"mainLoopOverhead\":" + u64(breakdown.mainLoopOverhead);
+    out += ",\"nonMainLoop\":" + u64(breakdown.nonMainLoop);
+    out += ",\"clusterStall\":" + u64(breakdown.clusterStall);
+    out += ",\"ucodeStall\":" + u64(breakdown.ucodeStall);
+    out += ",\"memStall\":" + u64(breakdown.memStall);
+    out += ",\"scOverhead\":" + u64(breakdown.scOverhead);
+    out += ",\"hostStall\":" + u64(breakdown.hostStall);
+    out += "}";
+    out += ",\"stats\":" + reg.read().toJson();
+    out += ",\"faultTrace\":[";
+    for (size_t i = 0; i < faultTrace.size(); ++i) {
+        const FaultEvent &e = faultTrace[i];
+        if (i)
+            out += ',';
+        out += strfmt("{\"ordinal\":%llu,\"site\":\"%s\","
+                      "\"outcome\":\"%s\",\"where\":%llu,\"mask\":%u}",
+                      static_cast<unsigned long long>(e.ordinal),
+                      faultSiteName(e.site), faultOutcomeName(e.outcome),
+                      static_cast<unsigned long long>(e.where),
+                      static_cast<unsigned>(e.mask));
+    }
+    out += "]}";
+    return out;
 }
 
 std::shared_ptr<const HangReport>

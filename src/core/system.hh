@@ -17,7 +17,9 @@
 #ifndef IMAGINE_CORE_SYSTEM_HH
 #define IMAGINE_CORE_SYSTEM_HH
 
+#include <array>
 #include <memory>
+#include <string>
 
 #include "cluster/cluster.hh"
 #include "host/host_processor.hh"
@@ -26,9 +28,11 @@
 #include "kernelc/schedule.hh"
 #include "mem/memory.hh"
 #include "power/power.hh"
+#include "sim/component.hh"
 #include "sim/config.hh"
 #include "sim/error.hh"
 #include "sim/fault.hh"
+#include "sim/stats.hh"
 #include "srf/srf.hh"
 #include "streamc/program_builder.hh"
 
@@ -96,7 +100,24 @@ struct RunResult
     FaultStats faults;
     /** Faults injected during this run, in deterministic order. */
     std::vector<FaultEvent> faultTrace;
+
+    /** Clusters-idle cycles of this run, by IdleCause. */
+    uint64_t idleCycles[5] = {};
+
+    /**
+     * JSON encoding of the whole result (metrics, Fig. 11 breakdown,
+     * per-component stats).  Schema documented in README.md.
+     */
+    std::string toJson() const;
 };
+
+/**
+ * Register every per-component counter of @p r on @p reg, mirroring
+ * the names an engine's registry uses.  Lets a StatsRegistry::assign
+ * of an engine delta fill the result, and RunResult::toJson reuse the
+ * same single source of stat names.
+ */
+void registerRunStats(StatsRegistry &reg, RunResult &r);
 
 /** One Imagine processor plus host. */
 class ImagineSystem
@@ -148,6 +169,19 @@ class ImagineSystem
     /** The fault injector, or null when config().faults.enabled is off. */
     const FaultInjector *faultInjector() const { return inj_.get(); }
 
+    // --- uniform metrics surface ----------------------------------------
+    /** Every component of this session, in tick order. */
+    const std::array<Component *, 5> &components() const
+    {
+        return components_;
+    }
+    /** The session's stats registry (cumulative engine counters). */
+    const StatsRegistry &stats() const { return stats_; }
+    /** Cumulative engine stats as nested JSON. */
+    std::string statsJson() const { return stats_.read().toJson(); }
+    /** Zero every component counter (not architectural state). */
+    void resetStats();
+
     /** Host-visible scalar result register. */
     Word readUcr(int i) const { return sc_.readUcr(i); }
     /** Host-visible stream descriptor (lengths of produced streams). */
@@ -169,6 +203,13 @@ class ImagineSystem
     StreamController sc_;
     HostProcessor host_;
     Cycle cycle_ = 0;
+
+    /** All components in tick order (engine-owned, session-lifetime). */
+    std::array<Component *, 5> components_;
+    /** Clusters-idle cycle counts since construction, by IdleCause. */
+    uint64_t idleCycles_[5] = {};
+    /** Every engine counter by name (components, faults, idle, cache). */
+    StatsRegistry stats_;
 };
 
 } // namespace imagine

@@ -3,9 +3,26 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "sim/stats.hh"
 
 namespace imagine
 {
+
+void
+HostStats::registerOn(StatsRegistry &reg, const std::string &prefix)
+{
+    reg.scalar(prefix + ".instrsSent", &instrsSent);
+    reg.scalar(prefix + ".scoreboardFullCycles", &scoreboardFullCycles);
+    reg.scalar(prefix + ".dependencyStallCycles",
+               &dependencyStallCycles);
+    reg.scalar(prefix + ".interfaceBusyCycles", &interfaceBusyCycles);
+}
+
+void
+HostProcessor::registerStats(StatsRegistry &reg)
+{
+    stats_.registerOn(reg, componentName());
+}
 
 HostProcessor::HostProcessor(const MachineConfig &cfg,
                              StreamController &sc)

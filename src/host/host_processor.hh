@@ -19,10 +19,13 @@
 
 #include "host/stream_controller.hh"
 #include "isa/stream.hh"
+#include "sim/component.hh"
 #include "sim/config.hh"
 
 namespace imagine
 {
+
+class StatsRegistry;
 
 /** Host-side statistics. */
 struct HostStats
@@ -31,10 +34,13 @@ struct HostStats
     uint64_t scoreboardFullCycles = 0;  ///< host had data, no free slot
     uint64_t dependencyStallCycles = 0; ///< read-compute-write stalls
     uint64_t interfaceBusyCycles = 0;   ///< cycles transferring instrs
+
+    /** Register every counter on @p reg under @p prefix. */
+    void registerOn(StatsRegistry &reg, const std::string &prefix);
 };
 
 /** The host CPU feeding the stream controller. */
-class HostProcessor
+class HostProcessor : public Component
 {
   public:
     HostProcessor(const MachineConfig &cfg, StreamController &sc);
@@ -53,7 +59,12 @@ class HostProcessor
         return program_ && next_ >= program_->instrs.size();
     }
 
-    void tick(Cycle now);
+    void tick(Cycle now) override;
+
+    // --- Component ------------------------------------------------------
+    const char *componentName() const override { return "host"; }
+    void registerStats(StatsRegistry &reg) override;
+    void resetStats() override { stats_ = {}; }
 
     /** Next program instruction to dispatch (hang diagnostics). */
     size_t nextInstr() const { return next_; }

@@ -6,6 +6,7 @@
 #include "sim/error.hh"
 #include "sim/fault.hh"
 #include "sim/log.hh"
+#include "sim/stats.hh"
 
 namespace imagine
 {
@@ -17,6 +18,27 @@ namespace
 constexpr Addr ucodeImageBase = Addr(1) << 24;
 
 } // namespace
+
+void
+ScStats::registerOn(StatsRegistry &reg, const std::string &prefix)
+{
+    reg.scalar(prefix + ".instrsRetired", &instrsRetired);
+    std::vector<std::string> kinds;
+    for (int i = 0; i < static_cast<int>(StreamOpKind::NumKinds); ++i)
+        kinds.push_back(
+            streamOpKindName(static_cast<StreamOpKind>(i)));
+    reg.vector(prefix + ".kind", kindCount, kinds);
+    reg.scalar(prefix + ".ucodeLoadsIssued", &ucodeLoadsIssued);
+    reg.scalar(prefix + ".ucodeWordsLoaded", &ucodeWordsLoaded);
+    reg.scalar(prefix + ".memOpWords", &memOpWords);
+    reg.scalar(prefix + ".memStreamOps", &memStreamOps);
+}
+
+void
+StreamController::registerStats(StatsRegistry &reg)
+{
+    stats_.registerOn(reg, componentName());
+}
 
 StreamController::StreamController(const MachineConfig &cfg, Srf &srf,
                                    MemorySystem &mem,

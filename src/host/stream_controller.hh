@@ -22,6 +22,7 @@
 #include "isa/stream.hh"
 #include "kernelc/schedule.hh"
 #include "mem/memory.hh"
+#include "sim/component.hh"
 #include "sim/config.hh"
 #include "srf/srf.hh"
 
@@ -30,6 +31,7 @@ namespace imagine
 
 class FaultInjector;
 struct HangReport;
+class StatsRegistry;
 
 /** Registered, compiled kernels addressable by stream instructions. */
 using KernelRegistry = std::vector<kernelc::CompiledKernel>;
@@ -53,10 +55,13 @@ struct ScStats
     uint64_t ucodeWordsLoaded = 0;
     uint64_t memOpWords = 0;        ///< words moved by mem stream ops
     uint64_t memStreamOps = 0;
+
+    /** Register every counter on @p reg under @p prefix. */
+    void registerOn(StatsRegistry &reg, const std::string &prefix);
 };
 
 /** The stream controller. */
-class StreamController
+class StreamController : public Component
 {
   public:
     StreamController(const MachineConfig &cfg, Srf &srf,
@@ -80,7 +85,12 @@ class StreamController
     /** True when no internally-generated work (microcode load) remains. */
     bool quiescent() const { return ucodeLoadAg_ < 0; }
 
-    void tick(Cycle now);
+    void tick(Cycle now) override;
+
+    // --- Component ------------------------------------------------------
+    const char *componentName() const override { return "sc"; }
+    void registerStats(StatsRegistry &reg) override;
+    void resetStats() override { stats_ = {}; }
 
     /** Current idle-cause classification (valid when clusters idle). */
     IdleCause idleCause() const { return idleCause_; }

@@ -5,9 +5,28 @@
 #include "sim/error.hh"
 #include "sim/fault.hh"
 #include "sim/log.hh"
+#include "sim/stats.hh"
 
 namespace imagine
 {
+
+void
+MemStats::registerOn(StatsRegistry &reg, const std::string &prefix)
+{
+    reg.scalar(prefix + ".wordsLoaded", &wordsLoaded);
+    reg.scalar(prefix + ".wordsStored", &wordsStored);
+    reg.scalar(prefix + ".cacheHits", &cacheHits);
+    reg.scalar(prefix + ".dramAccesses", &dramAccesses);
+    reg.scalar(prefix + ".rowMisses", &rowMisses);
+    reg.scalar(prefix + ".bugPrecharges", &bugPrecharges);
+    reg.scalar(prefix + ".channelBusyMemCycles", &channelBusyMemCycles);
+}
+
+void
+MemorySystem::registerStats(StatsRegistry &reg)
+{
+    stats_.registerOn(reg, componentName());
+}
 
 MemorySystem::MemorySystem(const MachineConfig &cfg, Srf &srf)
     : cfg_(cfg), srf_(srf), ags_(cfg.numAddressGenerators),

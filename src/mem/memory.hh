@@ -29,6 +29,7 @@
 
 #include "isa/stream.hh"
 #include "mem/memspace.hh"
+#include "sim/component.hh"
 #include "sim/config.hh"
 #include "sim/types.hh"
 #include "srf/srf.hh"
@@ -38,6 +39,7 @@ namespace imagine
 
 class FaultInjector;
 struct HangReport;
+class StatsRegistry;
 
 /** Memory-system statistics. */
 struct MemStats
@@ -49,10 +51,13 @@ struct MemStats
     uint64_t rowMisses = 0;
     uint64_t bugPrecharges = 0;
     uint64_t channelBusyMemCycles = 0;
+
+    /** Register every counter on @p reg under @p prefix. */
+    void registerOn(StatsRegistry &reg, const std::string &prefix);
 };
 
 /** The complete off-chip memory path. */
-class MemorySystem
+class MemorySystem : public Component
 {
   public:
     MemorySystem(const MachineConfig &cfg, Srf &srf);
@@ -79,7 +84,12 @@ class MemorySystem
     void finish(int ag);
 
     /** Advance one core cycle. */
-    void tick(Cycle now);
+    void tick(Cycle now) override;
+
+    // --- Component ------------------------------------------------------
+    const char *componentName() const override { return "mem"; }
+    void registerStats(StatsRegistry &reg) override;
+    void resetStats() override { stats_ = {}; }
 
     // --- resilience -----------------------------------------------------
     /** Attach a fault injector (null = no injection; the default). */

@@ -1,7 +1,27 @@
 #include "sim/fault.hh"
 
+#include "sim/stats.hh"
+
 namespace imagine
 {
+
+void
+FaultStats::registerOn(StatsRegistry &reg, const std::string &prefix)
+{
+    reg.scalar(prefix + ".injected", &injected);
+    reg.scalar(prefix + ".corrected", &corrected);
+    reg.scalar(prefix + ".detected", &detected);
+    reg.scalar(prefix + ".silent", &silent);
+    reg.scalar(prefix + ".perfOnly", &perfOnly);
+    reg.scalar(prefix + ".retries", &retries);
+    reg.scalar(prefix + ".retriesExhausted", &retriesExhausted);
+    reg.scalar(prefix + ".stuckCompletions", &stuckCompletions);
+    reg.scalar(prefix + ".agStallCycles", &agStallCycles);
+    std::vector<std::string> sites;
+    for (int i = 0; i < static_cast<int>(FaultSite::NumSites); ++i)
+        sites.push_back(faultSiteName(static_cast<FaultSite>(i)));
+    reg.vector(prefix + ".bySite", bySite, sites);
+}
 
 const char *
 faultSiteName(FaultSite site)

@@ -34,6 +34,7 @@
 #define IMAGINE_SIM_FAULT_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/config.hh"
@@ -42,6 +43,8 @@
 
 namespace imagine
 {
+
+class StatsRegistry;
 
 /** Where a fault was injected. */
 enum class FaultSite : uint8_t
@@ -92,6 +95,9 @@ struct FaultStats
     uint64_t agStallCycles = 0;
 
     uint64_t bySite[static_cast<int>(FaultSite::NumSites)] = {};
+
+    /** Register every counter on @p reg under @p prefix. */
+    void registerOn(StatsRegistry &reg, const std::string &prefix);
 };
 
 /** The injector: one per ImagineSystem, shared by all components. */
@@ -131,6 +137,11 @@ class FaultInjector
 
     const FaultStats &stats() const { return stats_; }
     const std::vector<FaultEvent> &trace() const { return trace_; }
+    /** Register the injector's counters on @p reg under "faults". */
+    void registerStats(StatsRegistry &reg)
+    {
+        stats_.registerOn(reg, "faults");
+    }
 
   private:
     /** One uniform draw; compares against an injection rate. */

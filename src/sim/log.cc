@@ -2,11 +2,34 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
 
 #include "sim/error.hh"
 
 namespace imagine
 {
+
+namespace
+{
+
+/**
+ * Serializes stderr writes so concurrent sessions (sim/runner.hh)
+ * cannot interleave mid-line.  This mutex and the compile cache
+ * (kernelc/compile_cache.hh) are the only mutable process-wide state
+ * in the simulator; everything else lives inside one ImagineSystem.
+ * (The remaining statics are immutable: MachineConfig/EnergyParams
+ * factories return fresh values, opcode tables and the DCT/zigzag
+ * tables in kernels/dct.cc are const with thread-safe magic-static
+ * initialization.)
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+} // namespace
 
 std::string
 strfmt(const char *fmt, ...)
@@ -27,7 +50,11 @@ strfmt(const char *fmt, ...)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     // Throwing (rather than exit(1)) lets embedding harnesses and tests
     // observe fatal errors; standalone binaries catch SimError in main()
     // and exit with code 1, preserving the old behaviour.
@@ -37,7 +64,11 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     // Throwing (rather than abort()) lets death tests and property tests
     // observe internal-inconsistency failures without taking the process
     // down.  SimError derives from std::logic_error, so tests observing
@@ -48,12 +79,14 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

@@ -9,6 +9,9 @@
  *            throws SimError(Panic).
  * warn()   - something is suspicious but simulation can continue.
  * inform() - purely informational status output.
+ *
+ * All four serialize their stderr write behind one mutex, so messages
+ * from concurrent SimBatch sessions never interleave mid-line.
  */
 
 #ifndef IMAGINE_SIM_LOG_HH

@@ -1,0 +1,18 @@
+#include "sim/runner.hh"
+
+namespace imagine
+{
+
+int
+hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? static_cast<int>(n) : 1;
+}
+
+SimBatch::SimBatch(int threads)
+    : threads_(threads > 0 ? threads : hardwareThreads())
+{
+}
+
+} // namespace imagine

@@ -1,0 +1,195 @@
+#include "sim/stats.hh"
+
+#include <map>
+
+#include "sim/log.hh"
+
+namespace imagine
+{
+
+uint64_t
+StatsDelta::value(std::string_view name) const
+{
+    auto it = index_.find(std::string(name));
+    return it == index_.end() ? 0 : entries_[it->second].second;
+}
+
+bool
+StatsDelta::has(std::string_view name) const
+{
+    return index_.count(std::string(name)) != 0;
+}
+
+void
+StatsDelta::push(std::string name, uint64_t v)
+{
+    index_.emplace(name, entries_.size());
+    entries_.emplace_back(std::move(name), v);
+}
+
+namespace
+{
+
+/** Ordered tree used only for JSON serialization. */
+struct JsonNode
+{
+    std::map<std::string, JsonNode> children;
+    uint64_t value = 0;
+    bool isLeaf = false;
+};
+
+void
+serialize(const JsonNode &n, std::string &out)
+{
+    if (n.isLeaf) {
+        out += std::to_string(n.value);
+        return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto &[key, child] : n.children) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += key;    // stat names are identifier-like; no escaping
+        out += "\":";
+        serialize(child, out);
+    }
+    out += '}';
+}
+
+} // namespace
+
+std::string
+StatsDelta::toJson() const
+{
+    JsonNode root;
+    for (const auto &[name, v] : entries_) {
+        JsonNode *node = &root;
+        size_t pos = 0;
+        while (true) {
+            size_t dot = name.find('.', pos);
+            std::string part = name.substr(
+                pos, dot == std::string::npos ? dot : dot - pos);
+            node = &node->children[part];
+            IMAGINE_ASSERT(!node->isLeaf,
+                           "stat %s nests under a leaf", name.c_str());
+            if (dot == std::string::npos)
+                break;
+            pos = dot + 1;
+        }
+        IMAGINE_ASSERT(node->children.empty(),
+                       "stat %s is both leaf and group", name.c_str());
+        node->isLeaf = true;
+        node->value = v;
+    }
+    std::string out;
+    serialize(root, out);
+    return out;
+}
+
+void
+StatsRegistry::add(Stat s)
+{
+    auto [it, inserted] = index_.emplace(s.name, stats_.size());
+    (void)it;
+    IMAGINE_ASSERT(inserted, "duplicate stat name %s", s.name.c_str());
+    stats_.push_back(std::move(s));
+}
+
+void
+StatsRegistry::scalar(std::string name, uint64_t *counter)
+{
+    add(Stat{std::move(name), counter, {}});
+}
+
+void
+StatsRegistry::scalar(std::string name, std::function<uint64_t()> read)
+{
+    add(Stat{std::move(name), nullptr, std::move(read)});
+}
+
+void
+StatsRegistry::vector(std::string name, uint64_t *base,
+                      const std::vector<std::string> &elems)
+{
+    for (size_t i = 0; i < elems.size(); ++i)
+        scalar(name + "." + elems[i], base + i);
+}
+
+void
+StatsRegistry::histogram(std::string name, uint64_t *buckets, size_t n)
+{
+    IMAGINE_ASSERT(n >= 2, "histogram %s needs >= 2 buckets",
+                   name.c_str());
+    for (size_t i = 0; i + 1 < n; ++i)
+        scalar(name + ".le_" + std::to_string(uint64_t(1) << i),
+               buckets + i);
+    scalar(name + ".more", buckets + (n - 1));
+}
+
+size_t
+StatsRegistry::bucketOf(uint64_t sample, size_t n)
+{
+    for (size_t i = 0; i + 1 < n; ++i)
+        if (sample <= (uint64_t(1) << i))
+            return i;
+    return n - 1;
+}
+
+StatsSnapshot
+StatsRegistry::snapshot() const
+{
+    StatsSnapshot s;
+    s.values_.reserve(stats_.size());
+    for (const Stat &st : stats_)
+        s.values_.push_back(st.current());
+    return s;
+}
+
+StatsDelta
+StatsRegistry::delta(const StatsSnapshot &since) const
+{
+    IMAGINE_ASSERT(since.values_.size() == stats_.size(),
+                   "snapshot taken on a different registry shape "
+                   "(%zu vs %zu stats)",
+                   since.values_.size(), stats_.size());
+    StatsDelta d;
+    for (size_t i = 0; i < stats_.size(); ++i)
+        d.push(stats_[i].name,
+               stats_[i].current() - since.values_[i]);
+    return d;
+}
+
+StatsDelta
+StatsRegistry::read() const
+{
+    StatsDelta d;
+    for (const Stat &st : stats_)
+        d.push(st.name, st.current());
+    return d;
+}
+
+void
+StatsRegistry::assign(const StatsDelta &d)
+{
+    for (const auto &[name, v] : d.entries()) {
+        auto it = index_.find(name);
+        if (it == index_.end())
+            continue;
+        Stat &st = stats_[it->second];
+        if (st.ptr)
+            *st.ptr = v;
+    }
+}
+
+void
+StatsRegistry::reset()
+{
+    for (Stat &st : stats_)
+        if (st.ptr)
+            *st.ptr = 0;
+}
+
+} // namespace imagine

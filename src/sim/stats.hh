@@ -1,0 +1,131 @@
+/**
+ * @file
+ * StatsRegistry: the uniform metrics surface of the simulator.
+ *
+ * Every component registers its counters under a hierarchical dotted
+ * name ("cluster.issuedOps", "sc.kind.KernelExec", ...).  The registry
+ * supports three stat shapes:
+ *
+ *  - scalar:    one uint64 counter, either pointer-backed (lives in a
+ *               component's stats struct) or callback-backed (computed
+ *               on read, e.g. the process-wide compile-cache counters).
+ *  - vector:    contiguous counters with per-element names, registered
+ *               as name.elem entries.
+ *  - histogram: power-of-two bucketed counters, registered as
+ *               name.le_2^i entries (last bucket: name.more).
+ *
+ * Snapshot/delta semantics make per-run accounting generic: take a
+ * StatsSnapshot before a run, ask for the StatsDelta after, and every
+ * registered stat reports what it accumulated in between - no
+ * hand-written per-struct diff plumbing.  An iso-structured registry
+ * (same names registered over a different set of structs, e.g. the
+ * ones inside a RunResult) can absorb a delta with assign().
+ *
+ * Thread-safety: a registry belongs to one session (ImagineSystem) and
+ * is not internally synchronized; concurrent sessions each own their
+ * own registry (see sim/runner.hh).  Callback stats may read
+ * process-wide atomics.
+ */
+
+#ifndef IMAGINE_SIM_STATS_HH
+#define IMAGINE_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace imagine
+{
+
+class StatsRegistry;
+
+/** Point-in-time values of every stat registered on one registry. */
+class StatsSnapshot
+{
+    friend class StatsRegistry;
+    std::vector<uint64_t> values_;
+};
+
+/** Named stat values - usually the delta between two snapshots. */
+class StatsDelta
+{
+  public:
+    /** Value of @p name; 0 when the name was never registered. */
+    uint64_t value(std::string_view name) const;
+    bool has(std::string_view name) const;
+    /** All entries, in registration order. */
+    const std::vector<std::pair<std::string, uint64_t>> &
+    entries() const
+    {
+        return entries_;
+    }
+    /** Nested-object JSON keyed by the dotted hierarchy. */
+    std::string toJson() const;
+
+  private:
+    friend class StatsRegistry;
+    void push(std::string name, uint64_t v);
+
+    std::vector<std::pair<std::string, uint64_t>> entries_;
+    std::unordered_map<std::string, size_t> index_;
+};
+
+/** The registry: named counters with snapshot/delta and JSON export. */
+class StatsRegistry
+{
+  public:
+    /** Register a pointer-backed scalar counter. Names must be unique. */
+    void scalar(std::string name, uint64_t *counter);
+    /** Register a callback-backed scalar (read-only; assign skips it). */
+    void scalar(std::string name, std::function<uint64_t()> read);
+    /** Register @p n contiguous counters as name.elem entries. */
+    void vector(std::string name, uint64_t *base,
+                const std::vector<std::string> &elems);
+    /**
+     * Register @p n contiguous power-of-two buckets: bucket i counts
+     * samples with value <= 2^i (entry name.le_2^i); the final bucket
+     * counts the rest (entry name.more).
+     */
+    void histogram(std::string name, uint64_t *buckets, size_t n);
+    /** Bucket index for @p sample in an @p n-bucket histogram. */
+    static size_t bucketOf(uint64_t sample, size_t n);
+
+    size_t numStats() const { return stats_.size(); }
+
+    StatsSnapshot snapshot() const;
+    /** What every stat accumulated since @p since. */
+    StatsDelta delta(const StatsSnapshot &since) const;
+    /** Current values (a delta against zero). */
+    StatsDelta read() const;
+    /**
+     * Write every entry of @p d whose name is registered here through
+     * the registered pointer.  Callback stats and unmatched names are
+     * skipped.  Used to fill iso-structured result structs from an
+     * engine delta.
+     */
+    void assign(const StatsDelta &d);
+    /** Zero every pointer-backed stat. */
+    void reset();
+
+  private:
+    struct Stat
+    {
+        std::string name;
+        uint64_t *ptr = nullptr;            ///< null for callback stats
+        std::function<uint64_t()> fn;
+        uint64_t current() const { return ptr ? *ptr : fn(); }
+    };
+
+    void add(Stat s);
+
+    std::vector<Stat> stats_;
+    std::unordered_map<std::string, size_t> index_;
+};
+
+} // namespace imagine
+
+#endif // IMAGINE_SIM_STATS_HH

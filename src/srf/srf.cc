@@ -4,9 +4,23 @@
 
 #include "sim/fault.hh"
 #include "sim/log.hh"
+#include "sim/stats.hh"
 
 namespace imagine
 {
+
+void
+SrfStats::registerOn(StatsRegistry &reg, const std::string &prefix)
+{
+    reg.scalar(prefix + ".wordsTransferred", &wordsTransferred);
+    reg.scalar(prefix + ".busyCycles", &busyCycles);
+}
+
+void
+Srf::registerStats(StatsRegistry &reg)
+{
+    stats_.registerOn(reg, componentName());
+}
 
 Srf::Srf(const MachineConfig &cfg)
     : cfg_(cfg), size_(cfg.srfSizeWords), data_(cfg.srfSizeWords, 0)

@@ -23,7 +23,10 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "isa/stream.hh"
+#include "sim/component.hh"
 #include "sim/config.hh"
 #include "sim/types.hh"
 
@@ -31,16 +34,20 @@ namespace imagine
 {
 
 class FaultInjector;
+class StatsRegistry;
 
 /** Aggregate SRF statistics. */
 struct SrfStats
 {
     uint64_t wordsTransferred = 0;  ///< words crossing the SRF array port
     uint64_t busyCycles = 0;        ///< cycles with at least one transfer
+
+    /** Register every counter on @p reg under @p prefix. */
+    void registerOn(StatsRegistry &reg, const std::string &prefix);
 };
 
 /** The stream register file with its stream-buffer clients. */
-class Srf
+class Srf : public Component
 {
   public:
     explicit Srf(const MachineConfig &cfg);
@@ -85,6 +92,12 @@ class Srf
 
     /** Advance one cycle: the arbiter moves words between array/buffers. */
     void tick();
+
+    // --- Component ------------------------------------------------------
+    const char *componentName() const override { return "srf"; }
+    void tick(Cycle) override { tick(); }
+    void registerStats(StatsRegistry &reg) override;
+    void resetStats() override { stats_ = {}; }
 
     /** True when every produced word has drained into the array. */
     bool outDrained(int client) const;

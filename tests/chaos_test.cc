@@ -11,8 +11,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
 
 #include "apps/apps.hh"
+#include "sim/runner.hh"
 
 using namespace imagine;
 using namespace imagine::apps;
@@ -54,44 +56,86 @@ chaosConfig(int run)
     return cfg;
 }
 
+/** Data-only outcome of one chaos run (gtest asserts are not thread-
+ *  safe, so batch jobs return this and checks happen on the main
+ *  thread). */
+struct ChaosOutcome
+{
+    enum class Kind { Clean, Invalid, Error } kind = Kind::Clean;
+    uint64_t injected = 0;
+    uint64_t silent = 0;
+    SimErrorKind errKind = SimErrorKind::Hang;
+    bool hangReport = false;
+    std::string what;
+};
+
+/** One chaos run of @p runApp with the plan for run @p i. */
+template <typename RunApp>
+ChaosOutcome
+chaosRun(const RunApp &runApp, int i)
+{
+    ChaosOutcome o;
+    ImagineSystem sys(chaosConfig(i));
+    try {
+        AppResult r = runApp(sys);
+        o.injected = r.run.faults.injected;
+        o.silent = r.run.faults.silent;
+        o.kind = r.validated ? ChaosOutcome::Kind::Clean
+                             : ChaosOutcome::Kind::Invalid;
+    } catch (const SimError &e) {
+        const FaultStats &fs = sys.faultInjector()->stats();
+        o.injected = fs.injected;
+        o.silent = fs.silent;
+        o.kind = ChaosOutcome::Kind::Error;
+        o.errKind = e.kind();
+        o.hangReport = e.hangReport() != nullptr;
+        o.what = e.what();
+    }
+    return o;
+}
+
 /** Run one campaign; every run must be clean, explained, or reported. */
 template <typename RunApp>
 void
 campaign(const char *name, const RunApp &runApp)
 {
+    SimBatch batch;
+    std::vector<ChaosOutcome> outcomes =
+        batch.run(kRunsPerApp,
+                  [&](int i) { return chaosRun(runApp, i); });
+
     uint64_t injected = 0;
     int clean = 0, explained = 0, reported = 0;
     for (int i = 0; i < kRunsPerApp; ++i) {
-        ImagineSystem sys(chaosConfig(i));
-        try {
-            AppResult r = runApp(sys);
-            injected += r.run.faults.injected;
-            if (r.validated) {
-                ++clean;
-                continue;
-            }
+        const ChaosOutcome &o = outcomes[static_cast<size_t>(i)];
+        injected += o.injected;
+        switch (o.kind) {
+          case ChaosOutcome::Kind::Clean:
+            ++clean;
+            break;
+          case ChaosOutcome::Kind::Invalid:
             // Wrong output with no unprotected corruption and no error
             // raised would be a silent-corruption escape.
-            ASSERT_GT(r.run.faults.silent, 0u)
+            ASSERT_GT(o.silent, 0u)
                 << name << " run " << i
                 << ": invalid output not explained by FaultStats";
             ++explained;
-        } catch (const SimError &e) {
-            const FaultStats &fs = sys.faultInjector()->stats();
-            injected += fs.injected;
-            if (e.kind() == SimErrorKind::Hang) {
-                EXPECT_NE(e.hangReport(), nullptr);
-            } else if (e.kind() != SimErrorKind::UnrecoveredFault) {
+            break;
+          case ChaosOutcome::Kind::Error:
+            if (o.errKind == SimErrorKind::Hang) {
+                EXPECT_TRUE(o.hangReport) << name << " run " << i;
+            } else if (o.errKind != SimErrorKind::UnrecoveredFault) {
                 // Unprotected (EccMode::None) corruption of control
                 // data - stream lengths, gather indices - can drive
                 // the model into an assertion; that is surfaced, not
                 // silent, but only acceptable when silent faults were
                 // actually recorded.
-                ASSERT_GT(fs.silent, 0u)
+                ASSERT_GT(o.silent, 0u)
                     << name << " run " << i << ": unexpected "
-                    << simErrorKindName(e.kind()) << ": " << e.what();
+                    << simErrorKindName(o.errKind) << ": " << o.what;
             }
             ++reported;
+            break;
         }
     }
     // The campaign must actually have exercised the fault sites.

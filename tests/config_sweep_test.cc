@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "core/system.hh"
 #include "kernels/conv.hh"
 #include "kernels/sad.hh"
 #include "sim/rng.hh"
+#include "sim/runner.hh"
 
 using namespace imagine;
 using namespace imagine::kernels;
@@ -147,6 +150,32 @@ sweepCases()
     return cases;
 }
 
+struct SweepResult
+{
+    bool ok = false;
+    RunResult r;
+};
+
+/**
+ * All sweep cases, computed once over a SimBatch; each TEST_P instance
+ * then only asserts on its slot (gtest assertions are main-thread-only,
+ * so jobs return data and checks happen here).
+ */
+const std::vector<SweepResult> &
+sweepResults()
+{
+    static const std::vector<SweepResult> results = [] {
+        std::vector<SweepCase> cases = sweepCases();
+        SimBatch batch;
+        return batch.run(static_cast<int>(cases.size()), [&](int i) {
+            SweepResult sr;
+            sr.r = convRun(cases[static_cast<size_t>(i)].cfg, &sr.ok);
+            return sr;
+        });
+    }();
+    return results;
+}
+
 class ConfigSweepTest : public ::testing::TestWithParam<int>
 {
 };
@@ -156,11 +185,11 @@ class ConfigSweepTest : public ::testing::TestWithParam<int>
 TEST_P(ConfigSweepTest, ConvStaysBitExact)
 {
     SweepCase sc = sweepCases()[static_cast<size_t>(GetParam())];
-    bool ok = false;
-    RunResult r = convRun(sc.cfg, &ok);
-    EXPECT_TRUE(ok) << "config " << sc.name;
-    EXPECT_GT(r.gops, 0.0);
-    EXPECT_EQ(r.breakdown.total(), r.cycles);
+    const SweepResult &sr =
+        sweepResults()[static_cast<size_t>(GetParam())];
+    EXPECT_TRUE(sr.ok) << "config " << sc.name;
+    EXPECT_GT(sr.r.gops, 0.0);
+    EXPECT_EQ(sr.r.breakdown.total(), sr.r.cycles);
 }
 
 INSTANTIATE_TEST_SUITE_P(Configs, ConfigSweepTest,
@@ -169,13 +198,10 @@ INSTANTIATE_TEST_SUITE_P(Configs, ConfigSweepTest,
 
 TEST(ConfigSweepTest, MoreAddersNeverHurt)
 {
-    MachineConfig narrow = MachineConfig::devBoard();
-    narrow.numAdders = 1;
-    bool okN = false, okW = false;
-    Cycle cn = convRun(narrow, &okN).cycles;
-    Cycle cw = convRun(MachineConfig::devBoard(), &okW).cycles;
-    EXPECT_TRUE(okN && okW);
-    EXPECT_GT(cn, cw);
+    // sweepCases()[0] is the baseline, [1] the one-adder machine.
+    const std::vector<SweepResult> &rs = sweepResults();
+    EXPECT_TRUE(rs[0].ok && rs[1].ok);
+    EXPECT_GT(rs[1].r.cycles, rs[0].r.cycles);
 }
 
 TEST(ConfigSweepTest, FasterUnitsNeverHurt)
@@ -184,11 +210,16 @@ TEST(ConfigSweepTest, FasterUnitsNeverHurt)
     slow.latFpAdd = 9;
     slow.latSubword = 6;
     slow.latIntMul = 9;
-    bool okS = false, okF = false;
-    Cycle cs = convRun(slow, &okS).cycles;
-    Cycle cf = convRun(MachineConfig::devBoard(), &okF).cycles;
-    EXPECT_TRUE(okS && okF);
-    EXPECT_GE(cs, cf);
+    std::array<MachineConfig, 2> cfgs{slow, MachineConfig::devBoard()};
+    std::array<bool, 2> ok{};
+    SimBatch batch;
+    std::vector<Cycle> cycles = batch.run(2, [&](int i) {
+        return convRun(cfgs[static_cast<size_t>(i)],
+                       &ok[static_cast<size_t>(i)])
+            .cycles;
+    });
+    EXPECT_TRUE(ok[0] && ok[1]);
+    EXPECT_GE(cycles[0], cycles[1]);
 }
 
 TEST(ConfigSweepTest, SadSearchSurvivesNarrowSrf)
