@@ -5,7 +5,7 @@
  * numerically, and reports the machine-level metrics the paper
  * highlights for QRD (GFLOPS, IPC, power).
  *
- *   ./examples/matrix_qr [--json] [rows cols]
+ *   ./examples/matrix_qr [--json] [--no-skip] [rows cols]
  *
  * With --json, prints the RunResult as JSON (schema in README.md)
  * instead of the human-readable report.
@@ -24,17 +24,23 @@ using namespace imagine::apps;
 int
 main(int argc, char **argv)
 try {
-    bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
-    if (json) {
-        --argc;
-        ++argv;
+    bool json = false;
+    MachineConfig mc = MachineConfig::devBoard();
+    int rows = 0, cols = 0, npos = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else if (std::strcmp(argv[i], "--no-skip") == 0)
+            mc.eventDriven = false;
+        else
+            (npos++ ? cols : rows) = std::atoi(argv[i]);
     }
     QrdConfig cfg;
-    if (argc >= 3) {
-        cfg.rows = std::atoi(argv[1]);
-        cfg.cols = std::atoi(argv[2]);
+    if (npos >= 2) {
+        cfg.rows = rows;
+        cfg.cols = cols;
     }
-    ImagineSystem sys(MachineConfig::devBoard());
+    ImagineSystem sys(mc);
     AppResult r = runQrd(sys, cfg);
     if (json) {
         std::printf("%s\n", r.run.toJson().c_str());

@@ -5,7 +5,7 @@
  * as ASCII art, plus the host-dependency statistics that make RTSL the
  * paper's overhead case study.
  *
- *   ./examples/render [--json]
+ *   ./examples/render [--json] [--no-skip]
  *
  * With --json, prints the RunResult as JSON (schema in README.md)
  * instead of the human-readable report.
@@ -22,8 +22,15 @@ using namespace imagine::apps;
 int
 main(int argc, char **argv)
 try {
-    bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
-    ImagineSystem sys(MachineConfig::devBoard());
+    bool json = false;
+    MachineConfig mc = MachineConfig::devBoard();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else if (std::strcmp(argv[i], "--no-skip") == 0)
+            mc.eventDriven = false;
+    }
+    ImagineSystem sys(mc);
     RtslConfig cfg;
     cfg.screen = 96;
     cfg.triangles = 1536;

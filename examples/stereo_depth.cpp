@@ -4,10 +4,12 @@
  * section 2.1): runs the full DEPTH pipeline on a synthetic stereo
  * pair and renders the recovered disparity map as ASCII art.
  *
- *   ./examples/stereo_depth [--json]
+ *   ./examples/stereo_depth [--json] [--no-skip]
  *
  * With --json, prints the RunResult as JSON (schema in README.md)
- * instead of the human-readable report.
+ * instead of the human-readable report.  --no-skip disables the
+ * event-horizon fast-forward (the A/B axis for bit-identity checks;
+ * the JSON must not change).
  */
 
 #include <cstdio>
@@ -21,8 +23,15 @@ using namespace imagine::apps;
 int
 main(int argc, char **argv)
 try {
-    bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
-    ImagineSystem sys(MachineConfig::devBoard());
+    bool json = false;
+    MachineConfig mc = MachineConfig::devBoard();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else if (std::strcmp(argv[i], "--no-skip") == 0)
+            mc.eventDriven = false;
+    }
+    ImagineSystem sys(mc);
     DepthConfig cfg;
     cfg.width = 512;
     cfg.height = 46;    // 32 valid output rows

@@ -4,7 +4,7 @@
  * (intra frame + motion-predicted frames) and reports compression
  * statistics alongside the machine metrics.
  *
- *   ./examples/video_encode [--json] [frames]
+ *   ./examples/video_encode [--json] [--no-skip] [frames]
  *
  * With --json, prints the RunResult as JSON (schema in README.md)
  * instead of the human-readable report.
@@ -22,15 +22,18 @@ using namespace imagine::apps;
 int
 main(int argc, char **argv)
 try {
-    bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
-    if (json) {
-        --argc;
-        ++argv;
-    }
+    bool json = false;
+    MachineConfig mc = MachineConfig::devBoard();
     MpegConfig cfg;
-    if (argc >= 2)
-        cfg.frames = std::atoi(argv[1]);
-    ImagineSystem sys(MachineConfig::devBoard());
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else if (std::strcmp(argv[i], "--no-skip") == 0)
+            mc.eventDriven = false;
+        else
+            cfg.frames = std::atoi(argv[i]);
+    }
+    ImagineSystem sys(mc);
     AppResult r = runMpeg(sys, cfg);
 
     if (json) {

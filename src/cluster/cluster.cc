@@ -84,6 +84,7 @@ ClusterArray::start(const CompiledKernel *k, std::vector<Binding> ins,
     ins_ = std::move(ins);
     outs_ = std::move(outs);
     restart_ = restart;
+    insResident_ = false;
 
     // Trip count from the first input stream (all must agree).
     if (k->graph.numInStreams > 0) {
@@ -102,8 +103,9 @@ ClusterArray::start(const CompiledKernel *k, std::vector<Binding> ins,
     } else {
         trip_ = explicitTrip;
     }
-    IMAGINE_ASSERT(trip_ >= 1, "kernel %s launched with zero trip count",
-                   k->name());
+    // trip_ == 0 is legal: the main loop degenerates to a single empty
+    // issue cycle (loopWindow_ == loopTotal_ == 0) and only the fixed
+    // startup/prologue/epilogue/shutdown phases run.
 
     // Value buffers sized for the deepest software-pipeline overlap.
     uint32_t need = static_cast<uint32_t>(k->loop.stages()) + 2;
@@ -124,18 +126,87 @@ ClusterArray::start(const CompiledKernel *k, std::vector<Binding> ins,
     // Issue buckets by cycle-mod-II for the main loop.
     loopBuckets_.assign(std::max(k->loop.ii, 1), {});
     uint64_t span = 0;
+    uint64_t minTime = UINT64_MAX;
     for (const ScheduledOp &s : k->loop.ops) {
         loopBuckets_[static_cast<size_t>(s.time) % k->loop.ii]
             .push_back(s);
         span = std::max<uint64_t>(span, static_cast<uint64_t>(s.time) + 1);
+        minTime = std::min<uint64_t>(minTime,
+                                     static_cast<uint64_t>(s.time));
     }
-    loopWindow_ = k->loop.ops.empty()
+    bool emptyLoop = k->loop.ops.empty() || trip_ == 0;
+    loopWindow_ = emptyLoop
                       ? 0
                       : (static_cast<uint64_t>(trip_) - 1) * k->loop.ii +
                             span;
+    loopTotal_ = emptyLoop
+                     ? 0
+                     : (static_cast<uint64_t>(trip_) - 1) * k->loop.ii +
+                           kernel_->loop.length;
+    // Steady-state fast path: once every op is past its first issue
+    // (t >= span - 1) and before any op's final iteration expires
+    // (t < minTime + trip * ii), collectLoopOps keeps the whole bucket,
+    // so tick() may execute the bucket verbatim.
+    bucketHasStream_.assign(loopBuckets_.size(), 0);
+    bucketHasOut_.assign(loopBuckets_.size(), 0);
+    for (size_t b = 0; b < loopBuckets_.size(); ++b) {
+        for (const ScheduledOp &s : loopBuckets_[b]) {
+            Opcode op = k->graph.nodes[s.node].op;
+            if (op == Opcode::In || op == Opcode::Out ||
+                op == Opcode::OutCond)
+                bucketHasStream_[b] = 1;
+            if (op == Opcode::Out || op == Opcode::OutCond)
+                bucketHasOut_[b] = 1;
+        }
+    }
+    // Circular distance-to-next tables, one O(2*ii) backward sweep per
+    // predicate (the naive per-bucket scan is O(ii^2), which shows up
+    // at launch time for high-II kernels like the 8x8 DCT).  Walking
+    // two laps from the back with the position of the closest hit seen
+    // so far leaves, on the second (b < ii) lap, the wrapped distance
+    // from b to the next hit strictly ahead.
+    const size_t nb = loopBuckets_.size();
+    nextIssueDelta_.assign(nb, static_cast<uint32_t>(nb));
+    nextStreamDelta_.assign(nb, UINT32_MAX);
+    nextOutDelta_.assign(nb, UINT32_MAX);
+    auto sweep = [nb](auto pred, std::vector<uint32_t> &out) {
+        uint64_t next = UINT64_MAX;
+        for (size_t i = 2 * nb; i-- > 0;) {
+            if (i < nb && next != UINT64_MAX)
+                out[i] = static_cast<uint32_t>(next - i);
+            if (pred(i % nb))
+                next = i;
+        }
+    };
+    sweep([this](size_t b) { return !loopBuckets_[b].empty(); },
+          nextIssueDelta_);
+    sweep([this](size_t b) { return bucketHasStream_[b] != 0; },
+          nextStreamDelta_);
+    sweep([this](size_t b) { return bucketHasOut_[b] != 0; },
+          nextOutDelta_);
+    if (emptyLoop) {
+        steadyLo_ = steadyHi_ = 0;
+    } else {
+        steadyLo_ = span - 1;
+        steadyHi_ = std::min(minTime + static_cast<uint64_t>(trip_) *
+                                           k->loop.ii,
+                             loopWindow_);
+        steadyHi_ = std::max(steadyHi_, steadyLo_);
+    }
 
     proOps_ = k->prologue.ops;
     epiOps_ = k->epilogue.ops;
+    // A zero-trip run of a real loop has no iterations to prime or
+    // drain: the prologue/epilogue schedules reference iterations that
+    // never execute (their In/Out ops would touch stream elements past
+    // a zero-length stream), so both phases are skipped outright and
+    // the kernel degenerates to startup + one empty loop cycle +
+    // shutdown.  Loop-less kernels (trip_ == 0 with no loop ops) keep
+    // their prologue: it IS the computation.
+    if (trip_ == 0 && !k->loop.ops.empty()) {
+        proOps_.clear();
+        epiOps_.clear();
+    }
     auto byTime = [](const ScheduledOp &a, const ScheduledOp &b) {
         return a.time < b.time;
     };
@@ -181,7 +252,7 @@ ClusterArray::value(uint32_t id, uint32_t iter, int lane) const
         }
         return value(n.in[1], iter - 1, lane);
       default: {
-        uint32_t it = (n.region == Region::Loop)
+        uint32_t it = (n.region == Region::Loop && trip_ > 0)
                           ? std::min(iter, trip_ - 1)
                           : 0;
         return values_[(static_cast<size_t>(id) * depth_ +
@@ -392,12 +463,7 @@ ClusterArray::finishLoopBookkeeping()
     // priming iterations as non-main-loop time).
     uint64_t priming = static_cast<uint64_t>(kernel_->loop.stages() - 1) *
                        kernel_->loop.ii;
-    uint64_t total = (trip_ == 0 || kernel_->loop.ops.empty())
-                         ? 0
-                         : (static_cast<uint64_t>(trip_) - 1) *
-                                   kernel_->loop.ii +
-                               kernel_->loop.length;
-    stats_.primingCycles += std::min(priming, total);
+    stats_.primingCycles += std::min(priming, loopTotal_);
     accountMix(kernel_->loopMix, trip_);
 }
 
@@ -455,28 +521,50 @@ ClusterArray::tick()
       }
 
       case Phase::Loop: {
-        opScratch_.clear();
-        collectLoopOps(t_, opScratch_, iterScratch_);
-        if (!cycleCanIssue(opScratch_, true)) {
-            ++stats_.stallCycles;
-            if (++stallWatchdog_ > 2'000'000) {
-                IMAGINE_PANIC("kernel %s wedged in main loop at t=%llu",
-                              kernel_->name(),
-                              static_cast<unsigned long long>(t_));
+        size_t b = static_cast<size_t>(t_ % kernel_->loop.ii);
+        if (t_ >= steadyLo_ && t_ < steadyHi_) {
+            // Steady state: the bucket needs no time/iteration
+            // filtering, and pure-arithmetic buckets cannot stall.
+            const auto &bucket = loopBuckets_[b];
+            opScratch_.clear();
+            iterScratch_.clear();
+            for (const ScheduledOp &s : bucket) {
+                opScratch_.push_back(&s);
+                iterScratch_.push_back(static_cast<uint32_t>(
+                    (t_ - static_cast<uint64_t>(s.time)) /
+                    kernel_->loop.ii));
             }
-            break;
+            if (bucketHasStream_[b] &&
+                !cycleCanIssue(opScratch_, true)) {
+                ++stats_.stallCycles;
+                if (++stallWatchdog_ > 2'000'000) {
+                    IMAGINE_PANIC(
+                        "kernel %s wedged in main loop at t=%llu",
+                        kernel_->name(),
+                        static_cast<unsigned long long>(t_));
+                }
+                break;
+            }
+        } else {
+            opScratch_.clear();
+            collectLoopOps(t_, opScratch_, iterScratch_);
+            if (!cycleCanIssue(opScratch_, true)) {
+                ++stats_.stallCycles;
+                if (++stallWatchdog_ > 2'000'000) {
+                    IMAGINE_PANIC(
+                        "kernel %s wedged in main loop at t=%llu",
+                        kernel_->name(),
+                        static_cast<unsigned long long>(t_));
+                }
+                break;
+            }
         }
         stallWatchdog_ = 0;
         for (size_t i = 0; i < opScratch_.size(); ++i)
             executeOp(*opScratch_[i], iterScratch_[i], true);
         ++stats_.loopCycles;
         ++t_;
-        uint64_t loopTotal =
-            kernel_->loop.ops.empty()
-                ? 0
-                : (static_cast<uint64_t>(trip_) - 1) * kernel_->loop.ii +
-                      kernel_->loop.length;
-        if (t_ >= loopTotal) {
+        if (t_ >= loopTotal_) {
             finishLoopBookkeeping();
             phase_ = epiOps_.empty() ? Phase::Shutdown : Phase::Epilogue;
             if (phase_ == Phase::Epilogue)
@@ -520,6 +608,148 @@ ClusterArray::tick()
 
       default:
         break;
+    }
+}
+
+bool
+ClusterArray::insResident() const
+{
+    if (insResident_)
+        return true;
+    for (const Binding &b : ins_)
+        if (!srf_.inFullyFetched(b.client))
+            return false;
+    insResident_ = true;
+    return true;
+}
+
+Cycle
+ClusterArray::nextEventAfter(Cycle now) const
+{
+    switch (phase_) {
+      case Phase::Idle:
+      case Phase::Done:
+        return kForever;
+      case Phase::Startup:
+        // Fixed countdown; the interesting tick is the transition.
+        return now + (static_cast<uint64_t>(cfg_.kernelStartupCycles) -
+                      t_);
+      case Phase::Shutdown:
+        return now + (static_cast<uint64_t>(cfg_.kernelShutdownCycles) -
+                      t_);
+      case Phase::Loop: {
+        // A run of loop positions is batchable (skipIdle executes it
+        // verbatim, with collectLoopOps' time/iteration filtering) when
+        // none of its buckets can stall or produce work for another
+        // component:
+        //
+        //  - stream-free buckets touch only cluster-private state
+        //    (LRFs, scratchpad, UCRs);
+        //  - once every input stream is resident in the SRF
+        //    (Srf::inFullyFetched), In buckets cannot stall and leave
+        //    the arbiter nothing to move, so only Out buckets - whose
+        //    produced words wake the arbiter - cut the run.
+        //
+        // The run is also cut at the loop-exit tick (position
+        // loopTotal_ - 1, which flips phase and must run per-cycle).
+        // Stalled positions never reach here with a horizon: a stall
+        // re-ticks the same stream bucket, which reports now + 1.
+        if (t_ + 1 >= loopTotal_)
+            return now + 1;
+        size_t b = static_cast<size_t>(t_ % kernel_->loop.ii);
+        if (bucketHasOut_[b])
+            return now + 1;
+        uint64_t o;
+        if (insResident())
+            o = nextOutDelta_[b];
+        else if (!bucketHasStream_[b])
+            o = nextStreamDelta_[b];
+        else
+            return now + 1;
+        o = std::min(o, loopTotal_ - 1 - t_);
+        if (o == 0)
+            return now + 1;
+        return now + o + 1;
+      }
+      case Phase::Prologue:
+      case Phase::Epilogue: {
+        // Op-free cycles in the fixed schedules only bump counters;
+        // the next event is the first cycle holding an op, or the
+        // phase-exit tick (position length - 1).
+        const auto &ops =
+            phase_ == Phase::Prologue ? proOps_ : epiOps_;
+        uint64_t len = phase_ == Phase::Prologue
+                           ? kernel_->prologue.length
+                           : kernel_->epilogue.length;
+        if (t_ + 1 >= len)
+            return now + 1;
+        // ops is sorted by time; find the first op at or after t_.
+        auto it = std::lower_bound(
+            ops.begin(), ops.end(), t_,
+            [](const kernelc::ScheduledOp &s, uint64_t t) {
+                return static_cast<uint64_t>(s.time) < t;
+            });
+        uint64_t next =
+            it == ops.end() ? len - 1 : static_cast<uint64_t>(it->time);
+        if (next <= t_)
+            return now + 1;
+        return now + std::min(next, len - 1) - t_ + 1;
+      }
+      default:
+        // Stalled positions are kept per-cycle: predicting stall spans
+        // would re-run cycleCanIssue here, costing what it saves.
+        return now + 1;
+    }
+}
+
+void
+ClusterArray::skipIdle(Cycle, uint64_t span)
+{
+    // Fold the counters a skipped tick would have bumped.  Beyond the
+    // countdown phases, only op-free schedule positions advertise
+    // horizons past now + 1; their ticks increment exactly these
+    // counters (and reset the stall watchdog, which is provably zero
+    // already: a stalled position re-ticks a non-empty bucket).
+    if (phase_ == Phase::Startup) {
+        t_ += span;
+        kernelCycles_ += span;
+        stats_.startupCycles += span;
+    } else if (phase_ == Phase::Shutdown) {
+        t_ += span;
+        kernelCycles_ += span;
+        stats_.shutdownCycles += span;
+    } else if (phase_ == Phase::Loop) {
+        // Batch-execute the advertised run with exactly the
+        // time/iteration filtering collectLoopOps applies, so each
+        // skipped position executes what its per-cycle tick would
+        // have.  The horizon guarantees no position can stall.
+        for (uint64_t p = t_; p < t_ + span; ++p) {
+            if (p >= loopWindow_)
+                continue;
+            const auto &bucket =
+                loopBuckets_[static_cast<size_t>(p % kernel_->loop.ii)];
+            for (const ScheduledOp &s : bucket) {
+                if (static_cast<uint64_t>(s.time) > p)
+                    continue;
+                uint64_t iter = (p - static_cast<uint64_t>(s.time)) /
+                                kernel_->loop.ii;
+                if (iter < trip_)
+                    executeOp(s, static_cast<uint32_t>(iter), true);
+            }
+        }
+        t_ += span;
+        kernelCycles_ += span;
+        stats_.loopCycles += span;
+        stallWatchdog_ = 0;
+    } else if (phase_ == Phase::Prologue) {
+        t_ += span;
+        kernelCycles_ += span;
+        stats_.prologueCycles += span;
+    } else if (phase_ == Phase::Epilogue) {
+        t_ += span;
+        kernelCycles_ += span;
+        stats_.epilogueCycles += span;
+        stallWatchdog_ = 0;
     }
 }
 

@@ -116,6 +116,8 @@ class ClusterArray : public Component
     void tick(Cycle) override { tick(); }
     void registerStats(StatsRegistry &reg) override;
     void resetStats() override { stats_ = {}; }
+    Cycle nextEventAfter(Cycle now) const override;
+    void skipIdle(Cycle from, uint64_t span) override;
 
     // --- micro-controller scalar registers ----------------------------
     Word ucr(int i) const { return ucrs_.at(static_cast<size_t>(i)); }
@@ -138,6 +140,13 @@ class ClusterArray : public Component
         int time;
     };
 
+    /**
+     * True when every input stream is fully fetched into the SRF.
+     * Latches true for the rest of the launch (a client's fetched count
+     * only grows until retire() closes it), so the per-horizon-query
+     * cost collapses to a flag test once the fetch phase completes.
+     */
+    bool insResident() const;
     /** Fetch the value of node @p id for consumer iteration @p iter. */
     Word value(uint32_t id, uint32_t iter, int lane) const;
     /** Store a computed value. */
@@ -185,7 +194,47 @@ class ClusterArray : public Component
     std::unordered_set<const kernelc::CompiledKernel *> hasRun_;
     bool skipPrologue_ = false;
     uint64_t loopWindow_ = 0;   ///< total issue window of the main loop
+    uint64_t loopTotal_ = 0;    ///< main-loop cycle count for this launch
+    /**
+     * Steady-state window [steadyLo_, steadyHi_): loop cycles where
+     * every bucket op is live (past its first issue, before its last
+     * iteration retires), so the per-cycle time/iteration filtering in
+     * collectLoopOps is a no-op and the bucket executes verbatim.
+     */
+    uint64_t steadyLo_ = 0;
+    uint64_t steadyHi_ = 0;
+    /** Buckets containing In/Out/OutCond ops (need cycleCanIssue). */
+    std::vector<uint8_t> bucketHasStream_;
+    /**
+     * Forward distance (1..ii) from bucket b to the next non-empty
+     * bucket, for the empty-bucket loop horizon: an empty bucket issues
+     * nothing at any loop position, so ticks landing on one are pure
+     * counter increments that skipIdle can fold.
+     */
+    std::vector<uint32_t> nextIssueDelta_;
+    /**
+     * Forward distance from bucket b to the next bucket holding an
+     * In/Out/OutCond op (UINT32_MAX when no bucket does).  Inside the
+     * steady-state window, stream-free buckets cannot stall and touch
+     * only cluster-private state (LRFs, scratchpad, UCRs), so a run of
+     * them batch-executes inside skipIdle while the rest of the machine
+     * is provably idle.
+     */
+    std::vector<uint32_t> nextStreamDelta_;
+    /** Buckets holding an Out/OutCond op (produce SRF arbiter work). */
+    std::vector<uint8_t> bucketHasOut_;
+    /**
+     * Forward distance from bucket b to the next Out/OutCond bucket
+     * (UINT32_MAX when none).  Once every input stream is fully fetched
+     * (Srf::inFullyFetched), In buckets can neither stall nor leave the
+     * arbiter anything to move, so batched runs extend across them and
+     * are cut only at Out buckets, whose produced words wake the
+     * arbiter for per-cycle draining.
+     */
+    std::vector<uint32_t> nextOutDelta_;
     uint64_t stallWatchdog_ = 0;
+    /** Latched insResident() result for the current launch. */
+    mutable bool insResident_ = false;
     /** Per-cycle scratch (avoids per-tick allocation). */
     mutable std::vector<const kernelc::ScheduledOp *> opScratch_;
     mutable std::vector<uint32_t> iterScratch_;

@@ -1,6 +1,8 @@
 #include "core/system.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <ctime>
 
 #include "kernelc/compile_cache.hh"
 #include "sim/log.hh"
@@ -27,6 +29,11 @@ ImagineSystem::ImagineSystem(const MachineConfig &cfg)
       sc_(cfg_, srf_, mem_, clusters_, kernels_), host_(cfg_, sc_),
       components_{&host_, &sc_, &clusters_, &mem_, &srf_}
 {
+    // Global escape hatch: IMAGINE_NO_SKIP=1 disables the event-horizon
+    // fast-forward regardless of what the config asked for, so any
+    // binary (benches included) can be A/B'd without a rebuild.
+    if (getenv("IMAGINE_NO_SKIP"))
+        cfg_.eventDriven = false;
     if (cfg_.faults.enabled) {
         inj_ = std::make_unique<FaultInjector>(cfg_.faults);
         srf_.setFaultInjector(inj_.get());
@@ -116,6 +123,51 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
     uint64_t lastMetric = progress();
     Cycle lastProgress = cycle_;
 
+    auto throwWatchdog = [&] {
+        auto report = buildHangReport(lastProgress, 0);
+        throw SimError(
+            SimErrorKind::Hang,
+            strfmt("no forward progress for %llu cycles "
+                   "(watchdog)\n%s",
+                   static_cast<unsigned long long>(
+                       cycle_ - lastProgress),
+                   report->describe().c_str()),
+            report);
+    };
+    auto throwLimit = [&] {
+        auto report = buildHangReport(lastProgress, cycleLimit);
+        throw SimError(
+            SimErrorKind::Hang,
+            strfmt("program exceeded the %llu-cycle limit\n%s",
+                   static_cast<unsigned long long>(cycleLimit),
+                   report->describe().c_str()),
+            report);
+    };
+
+    uint64_t dbgAttempts = 0, dbgSkips = 0, dbgSkipped = 0;
+    uint64_t dbgKill[5] = {};
+    // Attempt-suppression hold (a pure perf heuristic - it can only
+    // reduce skip coverage, never change simulated state): when the
+    // memory system or the SRF arbiter kills an attempt, it is mid-
+    // burst (generating addresses, servicing DRAM, moving words) and
+    // will keep killing until its work surfaces as progress, so re-
+    // querying horizons every no-progress cycle of the burst is wasted
+    // scanning.  Cleared on the next progress cycle, so it only arms
+    // while the cluster array is idle: transfer bursts surface progress
+    // (delivered words) every few cycles, whereas a running kernel
+    // moves no progress counter until it retires and a hold would
+    // wrongly outlive the burst and suppress every later in-kernel
+    // skip.
+    bool skipHold = false;
+    // Thread CPU time, not wall clock: the cycle loop is single-
+    // threaded and CPU time is immune to scheduler preemption, so
+    // bench comparisons stay stable on loaded machines.
+    auto threadSeconds = [] {
+        timespec ts;
+        clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+        return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+    };
+    double wall0 = threadSeconds();
     while (true) {
         bool finished = host_.finished() && sc_.drained() &&
                         sc_.quiescent() && !clusters_.busy();
@@ -131,31 +183,98 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
         ++cycle_;
 
         uint64_t m = progress();
-        if (m != lastMetric) {
+        bool progressed = m != lastMetric;
+        if (progressed) {
             lastMetric = m;
             lastProgress = cycle_;
+            skipHold = false;
         } else if (cycle_ - lastProgress >=
                    cfg_.watchdogStagnationCycles) {
-            auto report = buildHangReport(lastProgress, 0);
-            throw SimError(
-                SimErrorKind::Hang,
-                strfmt("no forward progress for %llu cycles "
-                       "(watchdog)\n%s",
-                       static_cast<unsigned long long>(
-                           cycle_ - lastProgress),
-                       report->describe().c_str()),
-                report);
+            throwWatchdog();
         }
-        if (cycle_ - start >= cycleLimit) {
-            auto report = buildHangReport(lastProgress, cycleLimit);
-            throw SimError(
-                SimErrorKind::Hang,
-                strfmt("program exceeded the %llu-cycle limit\n%s",
-                       static_cast<unsigned long long>(cycleLimit),
-                       report->describe().c_str()),
-                report);
+        if (cycle_ - start >= cycleLimit)
+            throwLimit();
+
+        // --- event-horizon fast-forward (DESIGN.md section 8) ----------
+        // When every component promises its next event lies past
+        // cycle_, the span in between is pure idle ticking: fold it in
+        // one step.  Each counter a skipped tick would have bumped is
+        // folded by skipIdle(); the watchdog and cycle-limit clamps
+        // make both fire at exactly the per-cycle cycle numbers.
+        //
+        // Only cycles that moved no progress counter are candidates: a
+        // cycle that retired, issued, or moved a word has an active
+        // component whose next event is (almost always) the very next
+        // cycle, so querying horizons there is pure overhead.  At a
+        // busy->idle transition this costs exactly one plain tick
+        // before the skip engages.
+        if (!cfg_.eventDriven || progressed || skipHold)
+            continue;
+        if (host_.finished() && sc_.drained() && sc_.quiescent() &&
+            !clusters_.busy())
+            continue;   // finished; never skip past the exit check
+        Cycle now = cycle_ - 1;
+        // Query order is cheapest-reject first: each component bails
+        // the whole attempt as soon as the horizon collapses to the
+        // very next cycle, so a busy cluster array (an O(1) phase
+        // check) short-circuits the O(slots/channels/clients) scans.
+        ++dbgAttempts;
+        Cycle h = clusters_.nextEventAfter(now);
+        if (h <= cycle_) ++dbgKill[0];
+        if (h > cycle_) {
+            h = std::min(h, mem_.nextEventAfter(now));
+            if (h <= cycle_) {
+                ++dbgKill[1];
+                skipHold = !clusters_.busy();
+            }
         }
+        if (h > cycle_) {
+            h = std::min(h, sc_.nextEventAfter(now));
+            if (h <= cycle_) ++dbgKill[2];
+        }
+        if (h > cycle_) {
+            h = std::min(h, srf_.nextEventAfter(now));
+            if (h <= cycle_) {
+                ++dbgKill[3];
+                skipHold = !clusters_.busy();
+            }
+        }
+        if (h > cycle_) {
+            h = std::min(h, host_.nextEventAfter(now));
+            if (h <= cycle_) ++dbgKill[4];
+        }
+        h = std::min(h, lastProgress + cfg_.watchdogStagnationCycles);
+        h = std::min(h, start + cycleLimit);
+        if (h <= cycle_)
+            continue;
+        ++dbgSkips;
+        dbgSkipped += h - cycle_;
+        uint64_t span = h - cycle_;
+        for (Component *c : components_)
+            c->skipIdle(cycle_, span);
+        if (!clusters_.busy())
+            idleCycles_[static_cast<int>(sc_.idleCause())] += span;
+        cycle_ = h;
+        if (cycle_ - lastProgress >= cfg_.watchdogStagnationCycles)
+            throwWatchdog();
+        if (cycle_ - start >= cycleLimit)
+            throwLimit();
     }
+    runWallSeconds_ += threadSeconds() - wall0;
+    if (getenv("IMAGINE_SKIP_DEBUG"))
+        fprintf(stderr,
+                "skipdbg: cycles=%llu attempts=%llu skips=%llu "
+                "skipped=%llu kill[clu=%llu mem=%llu sc=%llu srf=%llu "
+                "host=%llu]\n",
+                (unsigned long long)(cycle_ - start),
+                (unsigned long long)dbgAttempts,
+                (unsigned long long)dbgSkips,
+                (unsigned long long)dbgSkipped,
+                (unsigned long long)dbgKill[0],
+                (unsigned long long)dbgKill[1],
+                (unsigned long long)dbgKill[2],
+                (unsigned long long)dbgKill[3],
+                (unsigned long long)dbgKill[4]);
 
     r.cycles = cycle_ - start;
     r.seconds = static_cast<double>(r.cycles) / cfg_.coreClockHz;

@@ -189,6 +189,12 @@ class ImagineSystem
 
     Cycle now() const { return cycle_; }
 
+    /**
+     * Host wall-clock seconds spent inside run() cycle loops so far
+     * (the engine-throughput denominator for bench/perf_smoke).
+     */
+    double runWallSeconds() const { return runWallSeconds_; }
+
   private:
     /** Build a hang report from every component's in-flight state. */
     std::shared_ptr<const HangReport> buildHangReport(
@@ -203,6 +209,7 @@ class ImagineSystem
     StreamController sc_;
     HostProcessor host_;
     Cycle cycle_ = 0;
+    double runWallSeconds_ = 0.0;   ///< host time inside cycle loops
 
     /** All components in tick order (engine-owned, session-lifetime). */
     std::array<Component *, 5> components_;

@@ -65,6 +65,8 @@ class HostProcessor : public Component
     const char *componentName() const override { return "host"; }
     void registerStats(StatsRegistry &reg) override;
     void resetStats() override { stats_ = {}; }
+    Cycle nextEventAfter(Cycle now) const override;
+    void skipIdle(Cycle from, uint64_t span) override;
 
     /** Next program instruction to dispatch (hang diagnostics). */
     size_t nextInstr() const { return next_; }

@@ -477,6 +477,81 @@ StreamController::tick(Cycle now)
     classifyIdle();
 }
 
+Cycle
+StreamController::nextEventAfter(Cycle now) const
+{
+    // A finished microcode load is processed on the next tick.
+    if (ucodeLoadAg_ >= 0 && mem_.agDone(ucodeLoadAg_))
+        return now + 1;
+
+    Cycle h = kForever;
+    bool kernelInFlight = clusters_.busy();
+    for (const Slot &s : slots_) {
+        if (!s.instr)
+            continue;
+        if ((s.state == SlotState::Issuing ||
+             s.state == SlotState::Running) &&
+            (s.instr->kind == StreamOpKind::KernelExec ||
+             s.instr->kind == StreamOpKind::Restart))
+            kernelInFlight = true;
+    }
+
+    auto freeAg = [&]() {
+        for (int i = 0; i < cfg_.numAddressGenerators; ++i)
+            if (mem_.agIdle(i) && i != ucodeLoadAg_ && i != reservedAg_)
+                return true;
+        return false;
+    };
+
+    for (const Slot &s : slots_) {
+        if (!s.instr)
+            continue;
+        switch (s.state) {
+          case SlotState::Issuing:
+            h = std::min(h, std::max(now + 1, s.issueDone));
+            break;
+          case SlotState::Running:
+            // Resource progress is the resource's event; only the
+            // already-signalled completion is ours to process.
+            if (isMemOp(s.instr->kind)) {
+                if (mem_.agDone(s.ag))
+                    return now + 1;
+            } else if (clusters_.done()) {
+                return now + 1;
+            }
+            break;
+          case SlotState::Stuck:
+            break;  // lost completion: only the watchdog ends this
+          case SlotState::Waiting:
+          case SlotState::NeedUcode: {
+            if (!depsSatisfied(s))
+                break;  // some completion event precedes any issue
+            StreamOpKind k = s.instr->kind;
+            if (k == StreamOpKind::KernelExec ||
+                k == StreamOpKind::Restart) {
+                if (kernelInFlight)
+                    break;  // the owner's completion event covers this
+                if (!ucodeResident(s.instr->kernelId)) {
+                    if (s.state == SlotState::Waiting)
+                        return now + 1; // Waiting -> NeedUcode flip
+                    if (ucodeLoadAg_ < 0 && freeAg())
+                        return now + 1; // the load can start
+                    break;  // load finish / AG release covers this
+                }
+            } else if (isMemOp(k)) {
+                if (!freeAg())
+                    break;  // an AG frees only via a completion event
+            }
+            h = std::min(h, issueBusy_
+                                ? std::max(now + 1, issueBusyUntil_)
+                                : now + 1);
+            break;
+          }
+        }
+    }
+    return h;
+}
+
 namespace
 {
 

@@ -91,6 +91,7 @@ class StreamController : public Component
     const char *componentName() const override { return "sc"; }
     void registerStats(StatsRegistry &reg) override;
     void resetStats() override { stats_ = {}; }
+    Cycle nextEventAfter(Cycle now) const override;
 
     /** Current idle-cause classification (valid when clusters idle). */
     IdleCause idleCause() const { return idleCause_; }

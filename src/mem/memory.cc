@@ -301,8 +301,14 @@ MemorySystem::tickChannels(uint64_t memCycle)
         }
         ch.frontSkips = (pick == 0) ? 0 : ch.frontSkips + 1;
         DramReq req = ch.queue[pick];
-        ch.queue.erase(ch.queue.begin() +
-                       static_cast<std::ptrdiff_t>(pick));
+        // Order-preserving removal: shift the entries older than the
+        // pick down one slot and pop the front.  The FR-FCFS scan keys
+        // on position (oldest eight), so relative order must survive;
+        // this moves at most seven entries instead of deque::erase's
+        // O(queue depth) tail shift.
+        for (size_t i = pick; i > 0; --i)
+            ch.queue[i] = ch.queue[i - 1];
+        ch.queue.pop_front();
 
         Addr perChan = req.wordAddr / channels_.size();
         uint64_t bankRow = perChan / cfg_.rowWords;
@@ -384,6 +390,57 @@ MemorySystem::tick(Cycle now)
             ++st.completed;
         }
     }
+}
+
+Cycle
+MemorySystem::nextEventAfter(Cycle now) const
+{
+    Cycle h = kForever;
+
+    // Channels act on core cycles that are memClockDivider multiples,
+    // once the data bus frees; the pick ignores bank.nextFreeMem (the
+    // dequeue stalls inside the bank instead), so bus + queue is the
+    // complete condition.
+    uint64_t div = static_cast<uint64_t>(cfg_.memClockDivider);
+    for (const Channel &ch : channels_) {
+        if (ch.queue.empty())
+            continue;
+        uint64_t mem = std::max(now / div + 1, ch.busNextFreeMem);
+        h = std::min(h, mem * div);
+    }
+
+    for (const AgState &st : ags_) {
+        if (!st.active)
+            continue;
+        if (!st.deliveries.empty())
+            h = std::min(h, std::max(now + 1, st.deliveries.top().ready));
+        if (st.nextElem >= st.length)
+            continue;
+        // An armed AG-stall site rolls the RNG on every unstalled
+        // generate cycle; skipping one would desynchronise the fault
+        // trace, so the horizon pins to the next roll.
+        if (inj_ && inj_->plan().agStallRate > 0.0) {
+            h = std::min(h, std::max(now + 1, st.stallUntil));
+            continue;
+        }
+        bool can;
+        if (st.sink)
+            can = st.nextElem - st.completed < 128;
+        else if (st.isLoad)
+            can = srf_.outCanAccept(st.dataClient, st.nextElem);
+        else
+            can = srf_.inReady(st.dataClient, st.nextElem);
+        if (can && st.indexed) {
+            uint32_t record = st.nextElem / st.mar.recordWords;
+            can = st.curRecord == record ||
+                  srf_.inReady(st.idxClient, record);
+        }
+        if (can)
+            return now + 1;
+        // Blocked generation resumes only after an SRF transfer or a
+        // delivery; both are covered by the horizons above.
+    }
+    return h;
 }
 
 } // namespace imagine

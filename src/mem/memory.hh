@@ -90,6 +90,7 @@ class MemorySystem : public Component
     const char *componentName() const override { return "mem"; }
     void registerStats(StatsRegistry &reg) override;
     void resetStats() override { stats_ = {}; }
+    Cycle nextEventAfter(Cycle now) const override;
 
     // --- resilience -----------------------------------------------------
     /** Attach a fault injector (null = no injection; the default). */

@@ -165,6 +165,20 @@ struct MachineConfig
     uint64_t watchdogStagnationCycles = 1'500'000;
 
     // ------------------------------------------------------------------
+    // Simulator engine (no architectural effect)
+    // ------------------------------------------------------------------
+    /**
+     * Event-horizon fast-forward: when every component agrees nothing
+     * can happen before cycle h, the cycle loop jumps straight to h,
+     * folding the skipped idle span into the same counters per-cycle
+     * ticking would have produced.  Reported cycle counts, Fig. 11
+     * breakdowns, fault traces and hang reports are bit-identical
+     * either way (tests/skip_test.cc); off is the escape hatch and the
+     * A/B axis (--no-skip in the examples).
+     */
+    bool eventDriven = true;
+
+    // ------------------------------------------------------------------
     // Derived quantities
     // ------------------------------------------------------------------
     /** Core cycles consumed by the host interface per stream instr. */

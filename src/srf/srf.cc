@@ -58,6 +58,22 @@ Srf::at(int client) const
     return const_cast<Srf *>(this)->at(client);
 }
 
+void
+Srf::updateMovable(Client &c)
+{
+    bool m;
+    if (!c.active)
+        m = false;
+    else if (c.isIn)
+        m = c.fetched < c.length && c.fetched < c.base + c.windowWords;
+    else
+        m = c.base < c.produced && c.window[c.base % c.windowWords];
+    if (m != c.movable) {
+        c.movable = m;
+        movableCount_ += m ? 1 : -1;
+    }
+}
+
 int
 Srf::openIn(const Sdr &sdr, uint32_t minWindow)
 {
@@ -73,14 +89,20 @@ Srf::openIn(const Sdr &sdr, uint32_t minWindow)
         static_cast<uint32_t>(cfg_.streamBufferWords) * numClusters,
         minWindow);
     c.window.assign(c.windowWords, false);
+    int id = -1;
     for (size_t i = 0; i < clients_.size(); ++i) {
         if (!clients_[i].active) {
             clients_[i] = std::move(c);
-            return static_cast<int>(i);
+            id = static_cast<int>(i);
+            break;
         }
     }
-    clients_.push_back(std::move(c));
-    return static_cast<int>(clients_.size() - 1);
+    if (id < 0) {
+        clients_.push_back(std::move(c));
+        id = static_cast<int>(clients_.size() - 1);
+    }
+    updateMovable(clients_[static_cast<size_t>(id)]);
+    return id;
 }
 
 int
@@ -88,6 +110,7 @@ Srf::openOut(const Sdr &sdr, uint32_t minWindow)
 {
     int id = openIn(sdr, minWindow);
     clients_[id].isIn = false;
+    updateMovable(clients_[static_cast<size_t>(id)]);
     return id;
 }
 
@@ -96,6 +119,8 @@ Srf::close(int client)
 {
     Client &c = at(client);
     uint32_t produced = c.produced;
+    if (c.movable)
+        --movableCount_;
     c = Client{};
     return produced;
 }
@@ -123,6 +148,7 @@ Srf::inConsume(int client, uint32_t elem)
         c.window[c.base % c.windowWords] = false;
         ++c.base;
     }
+    updateMovable(c);   // base advanced: window space may have opened
     return w;
 }
 
@@ -157,6 +183,7 @@ Srf::outProduce(int client, uint32_t elem, Word w)
     data_[c.offset + elem] = w;
     c.window[elem % c.windowWords] = true;
     c.produced = std::max(c.produced, elem + 1);
+    updateMovable(c);   // the word at base may now be drainable
 }
 
 uint32_t
@@ -175,41 +202,62 @@ Srf::outDrained(int client) const
 void
 Srf::tick()
 {
-    int tokens = cfg_.srfBandwidthWordsPerCycle;
-    bool any = false;
     if (clients_.empty())
         return;
-
+    if (movableCount_ == 0) {
+        // Nothing the arbiter could move: same observable effects as a
+        // full scan that found no work (cursor advances, zero words).
+        rrNext_ = (rrNext_ + 1) % clients_.size();
+        return;
+    }
+    int tokens = cfg_.srfBandwidthWordsPerCycle;
+    // Round-robin water-filling: each pass grants one word to every
+    // still-eligible client in cursor order; the cached movable flag
+    // is exactly the demand-and-space predicate the original per-field
+    // tests computed, so the word-for-word allocation is unchanged.
     bool progress = true;
     while (tokens > 0 && progress) {
         progress = false;
         for (size_t k = 0; k < clients_.size() && tokens > 0; ++k) {
             Client &c = clients_[(rrNext_ + k) % clients_.size()];
-            if (!c.active)
+            if (!c.movable)
                 continue;
             if (c.isIn) {
-                if (c.fetched < c.length &&
-                    c.fetched < c.base + c.windowWords) {
-                    ++c.fetched;
-                    --tokens;
-                    progress = any = true;
-                }
+                ++c.fetched;
             } else {
-                if (c.base < c.produced &&
-                    c.window[c.base % c.windowWords]) {
-                    c.window[c.base % c.windowWords] = false;
-                    ++c.base;
-                    --tokens;
-                    progress = any = true;
-                }
+                c.window[c.base % c.windowWords] = false;
+                ++c.base;
             }
+            --tokens;
+            progress = true;
+            updateMovable(c);
         }
     }
-    rrNext_ = (rrNext_ + 1) % std::max<size_t>(clients_.size(), 1);
-    stats_.wordsTransferred +=
+    rrNext_ = (rrNext_ + 1) % clients_.size();
+    uint64_t moved =
         static_cast<uint64_t>(cfg_.srfBandwidthWordsPerCycle - tokens);
-    if (any)
+    stats_.wordsTransferred += moved;
+    if (moved)
         ++stats_.busyCycles;
+}
+
+Cycle
+Srf::nextEventAfter(Cycle now) const
+{
+    // The arbiter can move a word next tick iff some client has both
+    // demand and window space - precisely the movable count; everything
+    // else that changes a client (produce/consume/open/close) is driven
+    // by other components.
+    return movableCount_ > 0 ? now + 1 : kForever;
+}
+
+void
+Srf::skipIdle(Cycle, uint64_t span)
+{
+    // A tick with no movable word still advances the round-robin cursor
+    // (and transfers zero words); fold the cursor.
+    if (!clients_.empty())
+        rrNext_ = (rrNext_ + span) % clients_.size();
 }
 
 } // namespace imagine

@@ -81,6 +81,17 @@ class Srf : public Component
     bool inReady(int client, uint32_t elem) const;
     /** Consume stream word @p elem (must be inReady). */
     Word inConsume(int client, uint32_t elem);
+    /**
+     * True when every word of the stream is already in the buffer: the
+     * arbiter has nothing left to move for this client, so consumption
+     * can never stall nor create SRF work (the basis of the cluster's
+     * batched In execution, DESIGN.md section 8).
+     */
+    bool inFullyFetched(int client) const
+    {
+        const Client &c = clients_[static_cast<size_t>(client)];
+        return c.fetched >= c.length;
+    }
 
     // --- output-side producer interface ---------------------------------
     /** True when the buffer can accept stream word @p elem. */
@@ -98,6 +109,8 @@ class Srf : public Component
     void tick(Cycle) override { tick(); }
     void registerStats(StatsRegistry &reg) override;
     void resetStats() override { stats_ = {}; }
+    Cycle nextEventAfter(Cycle now) const override;
+    void skipIdle(Cycle from, uint64_t span) override;
 
     /** True when every produced word has drained into the array. */
     bool outDrained(int client) const;
@@ -126,16 +139,26 @@ class Srf : public Component
         std::vector<bool> window;   ///< consumed (in) / present (out)
         uint32_t windowWords = 0;
         bool faulted = false;       ///< detected fault in written data
+        /**
+         * Cached arbiter eligibility: the client has both demand and
+         * window space, i.e. tick() could move a word for it.  Kept
+         * exact by updateMovable() at every state mutation so the
+         * idle-tick fast path and the O(1) horizon never scan.
+         */
+        bool movable = false;
     };
 
     Client &at(int client);
     const Client &at(int client) const;
+    /** Recompute @p c's movable flag and the movable-client count. */
+    void updateMovable(Client &c);
 
     const MachineConfig &cfg_;
     FaultInjector *inj_ = nullptr;
     uint32_t size_;
     std::vector<Word> data_;
     std::vector<Client> clients_;
+    int movableCount_ = 0;          ///< clients with movable == true
     size_t rrNext_ = 0;             ///< round-robin arbitration cursor
     SrfStats stats_;
 };
