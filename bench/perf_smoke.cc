@@ -1,8 +1,12 @@
 /**
  * @file
- * Simulator-throughput smoke bench: runs the four applications with the
- * event-horizon fast-forward on and off and reports simulated cycles
- * per wall-clock second for each mode, plus the speedup.
+ * Simulator-throughput smoke bench: runs the four applications across
+ * the engine's two A/B axes and reports simulated cycles per
+ * wall-clock second for each mode, plus the speedups:
+ *
+ *  - predecode on vs off (the pre-decoded micro-op engine +
+ *    SRF block transfers, DESIGN.md section 9) - the headline;
+ *  - event-horizon fast-forward on vs off (DESIGN.md section 8).
  *
  * This is a plain executable (not a google-benchmark binary) so it can
  * emit a machine-readable summary:
@@ -10,14 +14,16 @@
  *   ./bench/perf_smoke [out.json]
  *
  * writes BENCH_throughput.json (or the given path) with one entry per
- * app.  Simulated cycle counts must be identical in both modes - the
- * fast-forward is an engine optimization, not a model change - and the
- * bench fails (exit 1) if they ever differ.
+ * app per axis, plus the host context (cores, compiler, build type)
+ * the numbers were taken on.  Simulated cycle counts must be identical
+ * in every mode - both knobs are engine optimizations, not model
+ * changes - and the bench fails (exit 1) if they ever differ.
  */
 
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "apps/apps.hh"
 #include "sim/log.hh"
@@ -35,10 +41,11 @@ struct Timed
 };
 
 Timed
-runApp(const char *name, bool eventDriven)
+runApp(const char *name, bool eventDriven, bool predecode)
 {
     MachineConfig mc = MachineConfig::devBoard();
     mc.eventDriven = eventDriven;
+    mc.predecode = predecode;
     ImagineSystem sys(mc);
     Timed t;
     if (std::string(name) == "depth") {
@@ -62,6 +69,72 @@ runApp(const char *name, bool eventDriven)
     return t;
 }
 
+/** One A/B axis: a (varied knob) x (4 apps) comparison section. */
+struct AxisResult
+{
+    std::string json;
+    double geomean = 1.0;
+    bool ok = true;
+};
+
+/**
+ * Measure the four apps with @p knob on vs off; @p configure applies
+ * the knob value on top of the baseline (all engine knobs on).
+ * Wall time is measured inside the engine's cycle loop only
+ * (ImagineSystem::runWallSeconds), so kernel compilation, input
+ * staging and golden-model validation - identical in both modes and
+ * unaffected by either optimization - do not dilute the comparison.
+ * Best-of-3 alternating reps reject scheduler noise.
+ */
+AxisResult
+measureAxis(const char *onKey, const char *offKey,
+            Timed (*run)(const char *, bool))
+{
+    const char *apps[] = {"depth", "mpeg", "qrd", "rtsl"};
+    AxisResult r;
+    r.json = "[";
+    double logSum = 0.0;
+    int n = 0;
+    for (const char *name : apps) {
+        Timed on = run(name, true);
+        Timed off = run(name, false);
+        double wallOn = on.loopSeconds;
+        double wallOff = off.loopSeconds;
+        for (int rep = 1; rep < 3; ++rep) {
+            wallOn = std::min(wallOn, run(name, true).loopSeconds);
+            wallOff = std::min(wallOff, run(name, false).loopSeconds);
+        }
+        double speedup = wallOn > 0.0 ? wallOff / wallOn : 0.0;
+        bool identical = on.app.run.cycles == off.app.run.cycles &&
+                         on.app.validated && off.app.validated;
+        r.ok = r.ok && identical;
+        logSum += std::log(speedup);
+        ++n;
+
+        std::printf("%-6s cycles=%-12llu %s=%.3fs %s=%.3fs "
+                    "cps=%.3gM speedup=%.2fx%s\n",
+                    name,
+                    static_cast<unsigned long long>(on.app.run.cycles),
+                    onKey, wallOn, offKey, wallOff,
+                    static_cast<double>(on.app.run.cycles) / wallOn /
+                        1e6,
+                    speedup, identical ? "" : "  CYCLE MISMATCH");
+
+        if (n > 1)
+            r.json += ',';
+        r.json += strfmt(
+            "{\"name\":\"%s\",\"cycles\":%llu,"
+            "\"loopSeconds%s\":%.6f,\"loopSeconds%s\":%.6f,"
+            "\"speedup\":%.17g,\"identicalCycles\":%s}",
+            name, static_cast<unsigned long long>(on.app.run.cycles),
+            onKey, wallOn, offKey, wallOff, speedup,
+            identical ? "true" : "false");
+    }
+    r.geomean = std::exp(logSum / n);
+    r.json += ']';
+    return r;
+}
+
 } // namespace
 
 int
@@ -69,64 +142,42 @@ main(int argc, char **argv)
 {
     const char *outPath =
         argc > 1 ? argv[1] : "BENCH_throughput.json";
-    const char *apps[] = {"depth", "mpeg", "qrd", "rtsl"};
 
-    std::string json = "{\"apps\":[";
-    double logSum = 0.0;
-    int n = 0;
-    bool ok = true;
-    for (const char *name : apps) {
-        // Warm the process-wide kernel compile cache so neither timed
-        // mode pays first-compile cost.
-        runApp(name, true);
+    // Warm the process-wide kernel compile + lowering caches so no
+    // timed mode pays first-compile cost.
+    for (const char *name : {"depth", "mpeg", "qrd", "rtsl"})
+        runApp(name, true, true);
 
-        // Wall time is measured inside the engine's cycle loop only
-        // (ImagineSystem::runWallSeconds), so kernel compilation,
-        // input staging and golden-model validation - identical in
-        // both modes and unaffected by the optimization - do not
-        // dilute the comparison.  Best-of-3 alternating reps reject
-        // scheduler noise.
-        Timed on = runApp(name, true);
-        Timed off = runApp(name, false);
-        double wallOn = on.loopSeconds;
-        double wallOff = off.loopSeconds;
-        for (int rep = 1; rep < 3; ++rep) {
-            wallOn = std::min(wallOn, runApp(name, true).loopSeconds);
-            wallOff = std::min(wallOff, runApp(name, false).loopSeconds);
-        }
-        double speedup = wallOn > 0.0 ? wallOff / wallOn : 0.0;
-        bool identical = on.app.run.cycles == off.app.run.cycles &&
-                         on.app.validated && off.app.validated;
-        ok = ok && identical;
-        logSum += std::log(speedup);
-        ++n;
+    std::printf("-- predecode on vs off (event-driven engine) --\n");
+    AxisResult pre = measureAxis(
+        "PredecodeOn", "PredecodeOff",
+        [](const char *name, bool on) { return runApp(name, true, on); });
+    std::printf("predecode geomean speedup %.2fx\n\n", pre.geomean);
 
-        std::printf("%-6s cycles=%-12llu wallOn=%.3fs wallOff=%.3fs "
-                    "cps(on)=%.3gM speedup=%.2fx%s\n",
-                    name,
-                    static_cast<unsigned long long>(on.app.run.cycles),
-                    wallOn, wallOff,
-                    static_cast<double>(on.app.run.cycles) / wallOn /
-                        1e6,
-                    speedup, identical ? "" : "  CYCLE MISMATCH");
+    std::printf("-- event-horizon skip on vs off (predecode on) --\n");
+    AxisResult skip = measureAxis(
+        "SkipOn", "SkipOff",
+        [](const char *name, bool on) { return runApp(name, on, true); });
+    std::printf("skip geomean speedup %.2fx\n", skip.geomean);
 
-        if (n > 1)
-            json += ',';
-        json += strfmt(
-            "{\"name\":\"%s\",\"cycles\":%llu,"
-            "\"loopSecondsSkipOn\":%.6f,\"loopSecondsSkipOff\":%.6f,"
-            "\"cyclesPerSecondSkipOn\":%.17g,"
-            "\"cyclesPerSecondSkipOff\":%.17g,"
-            "\"speedup\":%.17g,\"identicalCycles\":%s}",
-            name, static_cast<unsigned long long>(on.app.run.cycles),
-            wallOn, wallOff,
-            static_cast<double>(on.app.run.cycles) / wallOn,
-            static_cast<double>(off.app.run.cycles) / wallOff, speedup,
-            identical ? "true" : "false");
-    }
-    double geomean = std::exp(logSum / n);
-    json += strfmt("],\"geomeanSpeedup\":%.17g}", geomean);
-    std::printf("geomean speedup %.2fx\n", geomean);
+#if defined(__clang__)
+    const char *compiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+    const char *compiler = "gcc " __VERSION__;
+#else
+    const char *compiler = "unknown";
+#endif
+#ifndef IMAGINE_BUILD_TYPE
+#define IMAGINE_BUILD_TYPE "unknown"
+#endif
+    std::string json = strfmt(
+        "{\"host\":{\"hardwareThreads\":%u,\"compiler\":\"%s\","
+        "\"buildType\":\"%s\"},"
+        "\"predecodeAB\":{\"apps\":%s,\"geomeanSpeedup\":%.17g},"
+        "\"skipAB\":{\"apps\":%s,\"geomeanSpeedup\":%.17g}}",
+        std::thread::hardware_concurrency(), compiler,
+        IMAGINE_BUILD_TYPE, pre.json.c_str(), pre.geomean,
+        skip.json.c_str(), skip.geomean);
 
     if (FILE *f = std::fopen(outPath, "w")) {
         std::fputs(json.c_str(), f);
@@ -136,5 +187,5 @@ main(int argc, char **argv)
         std::fprintf(stderr, "perf_smoke: cannot write %s\n", outPath);
         return 1;
     }
-    return ok ? 0 : 1;
+    return pre.ok && skip.ok ? 0 : 1;
 }

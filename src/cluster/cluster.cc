@@ -1,7 +1,9 @@
 #include "cluster/cluster.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "kernelc/compile_cache.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
 
@@ -29,6 +31,8 @@ ClusterStats::registerOn(StatsRegistry &reg, const std::string &prefix)
     reg.scalar(prefix + ".sbWrites", &sbWrites);
     reg.scalar(prefix + ".kernelsRun", &kernelsRun);
     reg.scalar(prefix + ".kernelStreamWords", &kernelStreamWords);
+    reg.scalar(prefix + ".bindCachePeakKernels", &bindCachePeakKernels);
+    reg.scalar(prefix + ".bindCacheEvictions", &bindCacheEvictions);
     reg.histogram(prefix + ".kernelCycles", kernelCycleHist,
                   numKernelCycleBuckets);
 }
@@ -51,6 +55,9 @@ ClusterArray::ClusterArray(const MachineConfig &cfg, Srf &srf)
 {
     for (auto &row : scratchpad_)
         row.fill(0);
+    // Latched here (not in ImagineSystem) so rigs that drive the
+    // cluster array directly honor the escape hatch too.
+    noPredecodeEnv_ = std::getenv("IMAGINE_NO_PREDECODE") != nullptr;
 }
 
 uint32_t
@@ -73,11 +80,35 @@ ClusterArray::start(const CompiledKernel *k, std::vector<Binding> ins,
     IMAGINE_ASSERT(static_cast<int>(outs.size()) == k->graph.numOutStreams,
                    "kernel %s expects %d output streams, got %zu",
                    k->name(), k->graph.numOutStreams, outs.size());
+    auto bit = binds_.find(k);
     if (restart) {
-        IMAGINE_ASSERT(hasRun_.count(k),
+        IMAGINE_ASSERT(bit != binds_.end() && bit->second.hasRun,
                        "restart of %s without a prior run", k->name());
     }
-    hasRun_.insert(k);
+    if (bit == binds_.end()) {
+        bit = binds_.emplace(k, KernelBind{}).first;
+        // LRU-evict past the cap; never the kernel being launched.
+        size_t cap = static_cast<size_t>(
+            std::max(cfg_.clusterBindCacheKernels, 1));
+        if (binds_.size() > cap) {
+            auto victim = binds_.end();
+            for (auto it = binds_.begin(); it != binds_.end(); ++it) {
+                if (it->first == k)
+                    continue;
+                if (victim == binds_.end() ||
+                    it->second.lastUse < victim->second.lastUse)
+                    victim = it;
+            }
+            binds_.erase(victim);
+            ++stats_.bindCacheEvictions;
+        }
+        stats_.bindCachePeakKernels =
+            std::max(stats_.bindCachePeakKernels,
+                     static_cast<uint64_t>(binds_.size()));
+    }
+    curBind_ = &bit->second;
+    curBind_->hasRun = true;
+    curBind_->lastUse = ++bindClock_;
     skipPrologue_ = restart && lastKernel_ == k;
     lastKernel_ = k;
     kernel_ = k;
@@ -121,7 +152,7 @@ ClusterArray::start(const CompiledKernel *k, std::vector<Binding> ins,
                        0);
     }
     if (!restart_)
-        accSaved_.erase(k);
+        curBind_->accSaved.clear();
 
     // Issue buckets by cycle-mod-II for the main loop.
     loopBuckets_.assign(std::max(k->loop.ii, 1), {});
@@ -213,6 +244,30 @@ ClusterArray::start(const CompiledKernel *k, std::vector<Binding> ins,
     std::sort(proOps_.begin(), proOps_.end(), byTime);
     std::sort(epiOps_.begin(), epiOps_.end(), byTime);
 
+    // Bind the pre-decoded micro-op trace (shared process-wide through
+    // the compile cache) unless the interpretive escape hatch is on.
+    low_ = nullptr;
+    if (cfg_.predecode && !noPredecodeEnv_) {
+        if (!curBind_->lowered)
+            curBind_->lowered =
+                kernelc::CompileCache::instance().lowered(*k);
+        low_ = curBind_->lowered.get();
+        IMAGINE_ASSERT(low_->depth == depth_,
+                       "kernel %s: lowered trace depth %u != bind depth "
+                       "%u",
+                       k->name(), low_->depth, depth_);
+    }
+    epiRowSlot_ = trip_ > 0 ? ((trip_ - 1) & (depth_ - 1)) : 0;
+    proCursor_ = 0;
+    epiCursor_ = 0;
+
+    // Per-cycle scratch sized once to the widest issue group.
+    size_t widest = std::max(proOps_.size(), epiOps_.size());
+    for (const auto &bucket : loopBuckets_)
+        widest = std::max(widest, bucket.size());
+    opScratch_.reserve(widest);
+    iterScratch_.reserve(widest);
+
     phase_ = Phase::Startup;
     t_ = 0;
     kernelCycles_ = 0;
@@ -240,13 +295,10 @@ ClusterArray::value(uint32_t id, uint32_t iter, int lane) const
         return iter;
       case Opcode::Acc:
         if (iter == 0) {
-            if (restart_) {
-                auto kit = accSaved_.find(kernel_);
-                if (kit != accSaved_.end()) {
-                    auto it = kit->second.find(id);
-                    if (it != kit->second.end())
-                        return it->second[static_cast<size_t>(lane)];
-                }
+            if (restart_ && curBind_) {
+                auto it = curBind_->accSaved.find(id);
+                if (it != curBind_->accSaved.end())
+                    return it->second[static_cast<size_t>(lane)];
             }
             return value(n.in[0], 0, lane);
         }
@@ -433,6 +485,252 @@ ClusterArray::collectLoopOps(uint64_t tl,
     }
 }
 
+// --- pre-decoded micro-op engine (DESIGN.md section 9) ---------------
+
+const Word *
+ClusterArray::resolveSrc(const kernelc::MicroSrc &s, uint32_t iter,
+                         uint32_t rowSlot, Word *scratch) const
+{
+    using kernelc::MicroSrcKind;
+    switch (s.kind) {
+      case MicroSrcKind::RowLoop:
+        return &values_[s.base + rowSlot * numClusters];
+      case MicroSrcKind::RowFixed:
+        return &values_[s.base];
+      case MicroSrcKind::Imm:
+        for (int l = 0; l < numClusters; ++l)
+            scratch[l] = s.imm;
+        return scratch;
+      case MicroSrcKind::Ucr: {
+        Word w = ucrs_[s.imm];
+        for (int l = 0; l < numClusters; ++l)
+            scratch[l] = w;
+        return scratch;
+      }
+      case MicroSrcKind::Cid:
+        for (int l = 0; l < numClusters; ++l)
+            scratch[l] = static_cast<Word>(l);
+        return scratch;
+      case MicroSrcKind::IterIdx:
+        for (int l = 0; l < numClusters; ++l)
+            scratch[l] = iter;
+        return scratch;
+      case MicroSrcKind::AccNext:
+        // value(Acc, iter > 0) = value(in[1], iter - 1): the producer's
+        // row one slot back.  No clamp needed: live loop consumers have
+        // iter < trip_, epilogue consumers iter == trip_, so iter - 1
+        // never exceeds trip_ - 1.  iter == 0 (init chain / restart
+        // carry-over) falls through to the interpretive walk.
+        if (iter > 0)
+            return &values_[s.base +
+                            ((iter - 1) & low_->mask) * numClusters];
+        [[fallthrough]];
+      case MicroSrcKind::Generic:
+      default:
+        for (int l = 0; l < numClusters; ++l)
+            scratch[l] = value(s.node, iter, l);
+        return scratch;
+    }
+}
+
+void
+ClusterArray::execMicro(const kernelc::MicroOp &m, uint32_t iter,
+                        uint32_t rowSlot)
+{
+    using kernelc::MicroHandler;
+    // Unused operands resolve to a zero row so the dedicated arith
+    // handlers stay branch-free across 1/2/3-input opcodes.
+    static constexpr Word kZeroRow[numClusters] = {};
+    Word b0[numClusters], b1[numClusters], b2[numClusters];
+    const Word *s0 = m.numIn > 0
+                         ? resolveSrc(m.src[0], iter, rowSlot, b0)
+                         : kZeroRow;
+    const Word *s1 = m.numIn > 1
+                         ? resolveSrc(m.src[1], iter, rowSlot, b1)
+                         : kZeroRow;
+    const Word *s2 = m.numIn > 2
+                         ? resolveSrc(m.src[2], iter, rowSlot, b2)
+                         : kZeroRow;
+    Word *d = &values_[m.dstBase +
+                       (m.dstLoop ? rowSlot : 0u) * numClusters];
+    switch (m.h) {
+      case MicroHandler::In:
+        srf_.inConsumeRow(ins_[m.streamIdx].client,
+                          iter * numClusters * m.rec + m.elemIdx,
+                          m.rec, d);
+        stats_.sbReads += numClusters;
+        break;
+      case MicroHandler::OutLoop:
+        srf_.outProduceRow(outs_[m.streamIdx].client,
+                           iter * numClusters * m.rec + m.elemIdx,
+                           m.rec, s0);
+        stats_.sbWrites += numClusters;
+        break;
+      case MicroHandler::OutEpilogue:
+        srf_.outProduceRow(outs_[m.streamIdx].client,
+                           trip_ * m.rec * numClusters +
+                               m.elemIdx * numClusters,
+                           1, s0);
+        stats_.sbWrites += numClusters;
+        break;
+      case MicroHandler::OutCond: {
+        int client = outs_[m.streamIdx].client;
+        for (int l = 0; l < numClusters; ++l) {
+            if (s1[l]) {
+                srf_.outProduce(client, srf_.outAppendPos(client),
+                                s0[l]);
+                ++stats_.sbWrites;
+            }
+        }
+        break;
+      }
+      case MicroHandler::CommPerm:
+        for (int l = 0; l < numClusters; ++l)
+            d[l] = s0[s1[l] % numClusters];
+        break;
+      case MicroHandler::SpRd:
+        for (int l = 0; l < numClusters; ++l)
+            d[l] = scratchpad_[s0[l] % scratchpad_.size()]
+                              [static_cast<size_t>(l)];
+        break;
+      case MicroHandler::SpWr:
+        for (int l = 0; l < numClusters; ++l)
+            scratchpad_[s0[l] % scratchpad_.size()]
+                       [static_cast<size_t>(l)] = s1[l];
+        break;
+      case MicroHandler::UcrWr:
+        ucrs_[m.ucrIdx] = s0[0];
+        break;
+      case MicroHandler::ArithGen: {
+        Word in[3] = {0, 0, 0};
+        for (int l = 0; l < numClusters; ++l) {
+            if (m.numIn > 0)
+                in[0] = s0[l];
+            if (m.numIn > 1)
+                in[1] = s1[l];
+            if (m.numIn > 2)
+                in[2] = s2[l];
+            d[l] = evalArith(m.op, in);
+        }
+        break;
+      }
+#define IMAGINE_M(name)                                                  \
+      case MicroHandler::name:                                           \
+        for (int l = 0; l < numClusters; ++l)                            \
+            d[l] = evalArithScalar<Opcode::name>(s0[l], s1[l], s2[l]);   \
+        break;
+    IMAGINE_ARITH_OPS(IMAGINE_M)
+#undef IMAGINE_M
+    }
+}
+
+bool
+ClusterArray::microLoopCanIssue(size_t b, uint64_t iterBase,
+                                bool filter) const
+{
+    using kernelc::MicroHandler;
+    const kernelc::LoweredRegion &L = low_->loop;
+    for (uint32_t i = L.bucketBegin[b]; i < L.bucketBegin[b + 1]; ++i) {
+        const kernelc::MicroOp &m = L.ops[i];
+        if (m.h > MicroHandler::OutCond)  // stream handlers are 0..3
+            continue;
+        uint32_t st = L.stage[i];
+        if (filter && (st > iterBase || iterBase - st >= trip_))
+            continue;
+        uint32_t iter = static_cast<uint32_t>(iterBase - st);
+        switch (m.h) {
+          case MicroHandler::In:
+            if (!srf_.inReady(ins_[m.streamIdx].client,
+                              streamElem(iter, numClusters - 1, m.rec,
+                                         m.elemIdx)))
+                return false;
+            break;
+          case MicroHandler::OutLoop:
+            if (!srf_.outCanAccept(outs_[m.streamIdx].client,
+                                   streamElem(iter, numClusters - 1,
+                                              m.rec, m.elemIdx)))
+                return false;
+            break;
+          case MicroHandler::OutEpilogue:
+            if (!srf_.outCanAccept(outs_[m.streamIdx].client,
+                                   trip_ * m.rec * numClusters +
+                                       m.elemIdx * numClusters +
+                                       (numClusters - 1)))
+                return false;
+            break;
+          default: {  // OutCond
+            int client = outs_[m.streamIdx].client;
+            if (!srf_.outCanAccept(client,
+                                   srf_.outAppendPos(client) +
+                                       numClusters - 1))
+                return false;
+            break;
+          }
+        }
+    }
+    return true;
+}
+
+bool
+ClusterArray::microBlockCanIssue(const kernelc::LoweredRegion &L,
+                                 size_t begin, size_t end) const
+{
+    using kernelc::MicroHandler;
+    for (size_t i = begin; i < end; ++i) {
+        const kernelc::MicroOp &m = L.ops[i];
+        switch (m.h) {
+          case MicroHandler::In:
+            if (!srf_.inReady(ins_[m.streamIdx].client,
+                              streamElem(trip_, numClusters - 1, m.rec,
+                                         m.elemIdx)))
+                return false;
+            break;
+          case MicroHandler::OutLoop:
+            if (!srf_.outCanAccept(outs_[m.streamIdx].client,
+                                   streamElem(trip_, numClusters - 1,
+                                              m.rec, m.elemIdx)))
+                return false;
+            break;
+          case MicroHandler::OutEpilogue:
+            if (!srf_.outCanAccept(outs_[m.streamIdx].client,
+                                   trip_ * m.rec * numClusters +
+                                       m.elemIdx * numClusters +
+                                       (numClusters - 1)))
+                return false;
+            break;
+          case MicroHandler::OutCond: {
+            int client = outs_[m.streamIdx].client;
+            if (!srf_.outCanAccept(client,
+                                   srf_.outAppendPos(client) +
+                                       numClusters - 1))
+                return false;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return true;
+}
+
+void
+ClusterArray::execLoopPositionMicro(uint64_t p)
+{
+    if (p >= loopWindow_)
+        return;
+    const kernelc::LoweredRegion &L = low_->loop;
+    uint64_t ib = p / kernel_->loop.ii;
+    size_t b = static_cast<size_t>(p % kernel_->loop.ii);
+    uint32_t mask = low_->mask;
+    for (uint32_t i = L.bucketBegin[b]; i < L.bucketBegin[b + 1]; ++i) {
+        uint32_t st = L.stage[i];
+        if (st > ib || ib - st >= trip_)
+            continue;
+        uint32_t iter = static_cast<uint32_t>(ib - st);
+        execMicro(L.ops[i], iter, iter & mask);
+    }
+}
+
 void
 ClusterArray::accountMix(const OpMix &mix, uint64_t times)
 {
@@ -457,7 +755,7 @@ ClusterArray::finishLoopBookkeeping()
         std::array<Word, numClusters> fin;
         for (int lane = 0; lane < numClusters; ++lane)
             fin[static_cast<size_t>(lane)] = value(id, trip_, lane);
-        accSaved_[kernel_][id] = fin;
+        curBind_->accSaved[id] = fin;
     }
     // Software-pipeline priming/drain attribution (the paper counts
     // priming iterations as non-main-loop time).
@@ -508,9 +806,21 @@ ClusterArray::tick()
         break;
 
       case Phase::Prologue: {
-        for (const ScheduledOp &s : proOps_) {
-            if (static_cast<uint64_t>(s.time) == t_)
-                executeOp(s, 0, false);
+        if (low_) {
+            const auto &L = low_->prologue;
+            while (proCursor_ < L.ops.size() &&
+                   L.stage[proCursor_] < t_)
+                ++proCursor_;
+            while (proCursor_ < L.ops.size() &&
+                   L.stage[proCursor_] == t_) {
+                execMicro(L.ops[proCursor_], 0, 0);
+                ++proCursor_;
+            }
+        } else {
+            for (const ScheduledOp &s : proOps_) {
+                if (static_cast<uint64_t>(s.time) == t_)
+                    executeOp(s, 0, false);
+            }
         }
         ++stats_.prologueCycles;
         if (++t_ >= static_cast<uint64_t>(kernel_->prologue.length)) {
@@ -522,20 +832,13 @@ ClusterArray::tick()
 
       case Phase::Loop: {
         size_t b = static_cast<size_t>(t_ % kernel_->loop.ii);
-        if (t_ >= steadyLo_ && t_ < steadyHi_) {
-            // Steady state: the bucket needs no time/iteration
-            // filtering, and pure-arithmetic buckets cannot stall.
-            const auto &bucket = loopBuckets_[b];
-            opScratch_.clear();
-            iterScratch_.clear();
-            for (const ScheduledOp &s : bucket) {
-                opScratch_.push_back(&s);
-                iterScratch_.push_back(static_cast<uint32_t>(
-                    (t_ - static_cast<uint64_t>(s.time)) /
-                    kernel_->loop.ii));
-            }
-            if (bucketHasStream_[b] &&
-                !cycleCanIssue(opScratch_, true)) {
+        if (low_) {
+            // Micro-op path: the stage array filters liveness; the
+            // stream check walks only the bucket's contiguous records.
+            bool steady = t_ >= steadyLo_ && t_ < steadyHi_;
+            if (t_ < loopWindow_ && bucketHasStream_[b] &&
+                !microLoopCanIssue(b, t_ / kernel_->loop.ii,
+                                   !steady)) {
                 ++stats_.stallCycles;
                 if (++stallWatchdog_ > 2'000'000) {
                     IMAGINE_PANIC(
@@ -545,23 +848,50 @@ ClusterArray::tick()
                 }
                 break;
             }
+            stallWatchdog_ = 0;
+            execLoopPositionMicro(t_);
         } else {
-            opScratch_.clear();
-            collectLoopOps(t_, opScratch_, iterScratch_);
-            if (!cycleCanIssue(opScratch_, true)) {
-                ++stats_.stallCycles;
-                if (++stallWatchdog_ > 2'000'000) {
-                    IMAGINE_PANIC(
-                        "kernel %s wedged in main loop at t=%llu",
-                        kernel_->name(),
-                        static_cast<unsigned long long>(t_));
+            if (t_ >= steadyLo_ && t_ < steadyHi_) {
+                // Steady state: the bucket needs no time/iteration
+                // filtering, and pure-arithmetic buckets cannot stall.
+                const auto &bucket = loopBuckets_[b];
+                opScratch_.clear();
+                iterScratch_.clear();
+                for (const ScheduledOp &s : bucket) {
+                    opScratch_.push_back(&s);
+                    iterScratch_.push_back(static_cast<uint32_t>(
+                        (t_ - static_cast<uint64_t>(s.time)) /
+                        kernel_->loop.ii));
                 }
-                break;
+                if (bucketHasStream_[b] &&
+                    !cycleCanIssue(opScratch_, true)) {
+                    ++stats_.stallCycles;
+                    if (++stallWatchdog_ > 2'000'000) {
+                        IMAGINE_PANIC(
+                            "kernel %s wedged in main loop at t=%llu",
+                            kernel_->name(),
+                            static_cast<unsigned long long>(t_));
+                    }
+                    break;
+                }
+            } else {
+                opScratch_.clear();
+                collectLoopOps(t_, opScratch_, iterScratch_);
+                if (!cycleCanIssue(opScratch_, true)) {
+                    ++stats_.stallCycles;
+                    if (++stallWatchdog_ > 2'000'000) {
+                        IMAGINE_PANIC(
+                            "kernel %s wedged in main loop at t=%llu",
+                            kernel_->name(),
+                            static_cast<unsigned long long>(t_));
+                    }
+                    break;
+                }
             }
+            stallWatchdog_ = 0;
+            for (size_t i = 0; i < opScratch_.size(); ++i)
+                executeOp(*opScratch_[i], iterScratch_[i], true);
         }
-        stallWatchdog_ = 0;
-        for (size_t i = 0; i < opScratch_.size(); ++i)
-            executeOp(*opScratch_[i], iterScratch_[i], true);
         ++stats_.loopCycles;
         ++t_;
         if (t_ >= loopTotal_) {
@@ -575,21 +905,42 @@ ClusterArray::tick()
       }
 
       case Phase::Epilogue: {
-        opScratch_.clear();
-        for (const ScheduledOp &s : epiOps_) {
-            if (static_cast<uint64_t>(s.time) == t_)
-                opScratch_.push_back(&s);
+        if (low_) {
+            const auto &L = low_->epilogue;
+            size_t begin = epiCursor_;
+            while (begin < L.ops.size() && L.stage[begin] < t_)
+                ++begin;
+            size_t end = begin;
+            while (end < L.ops.size() && L.stage[end] == t_)
+                ++end;
+            if (!microBlockCanIssue(L, begin, end)) {
+                ++stats_.stallCycles;
+                if (++stallWatchdog_ > 2'000'000)
+                    IMAGINE_PANIC("kernel %s wedged in epilogue",
+                                  kernel_->name());
+                break;
+            }
+            stallWatchdog_ = 0;
+            for (size_t i = begin; i < end; ++i)
+                execMicro(L.ops[i], trip_, epiRowSlot_);
+            epiCursor_ = end;
+        } else {
+            opScratch_.clear();
+            for (const ScheduledOp &s : epiOps_) {
+                if (static_cast<uint64_t>(s.time) == t_)
+                    opScratch_.push_back(&s);
+            }
+            if (!cycleCanIssue(opScratch_, false)) {
+                ++stats_.stallCycles;
+                if (++stallWatchdog_ > 2'000'000)
+                    IMAGINE_PANIC("kernel %s wedged in epilogue",
+                                  kernel_->name());
+                break;
+            }
+            stallWatchdog_ = 0;
+            for (const ScheduledOp *s : opScratch_)
+                executeOp(*s, trip_, false);
         }
-        if (!cycleCanIssue(opScratch_, false)) {
-            ++stats_.stallCycles;
-            if (++stallWatchdog_ > 2'000'000)
-                IMAGINE_PANIC("kernel %s wedged in epilogue",
-                              kernel_->name());
-            break;
-        }
-        stallWatchdog_ = 0;
-        for (const ScheduledOp *s : opScratch_)
-            executeOp(*s, trip_, false);
         ++stats_.epilogueCycles;
         if (++t_ >= static_cast<uint64_t>(kernel_->epilogue.length)) {
             phase_ = Phase::Shutdown;
@@ -723,18 +1074,24 @@ ClusterArray::skipIdle(Cycle, uint64_t span)
         // time/iteration filtering collectLoopOps applies, so each
         // skipped position executes what its per-cycle tick would
         // have.  The horizon guarantees no position can stall.
-        for (uint64_t p = t_; p < t_ + span; ++p) {
-            if (p >= loopWindow_)
-                continue;
-            const auto &bucket =
-                loopBuckets_[static_cast<size_t>(p % kernel_->loop.ii)];
-            for (const ScheduledOp &s : bucket) {
-                if (static_cast<uint64_t>(s.time) > p)
+        if (low_) {
+            for (uint64_t p = t_; p < t_ + span; ++p)
+                execLoopPositionMicro(p);
+        } else {
+            for (uint64_t p = t_; p < t_ + span; ++p) {
+                if (p >= loopWindow_)
                     continue;
-                uint64_t iter = (p - static_cast<uint64_t>(s.time)) /
-                                kernel_->loop.ii;
-                if (iter < trip_)
-                    executeOp(s, static_cast<uint32_t>(iter), true);
+                const auto &bucket = loopBuckets_[static_cast<size_t>(
+                    p % kernel_->loop.ii)];
+                for (const ScheduledOp &s : bucket) {
+                    if (static_cast<uint64_t>(s.time) > p)
+                        continue;
+                    uint64_t iter =
+                        (p - static_cast<uint64_t>(s.time)) /
+                        kernel_->loop.ii;
+                    if (iter < trip_)
+                        executeOp(s, static_cast<uint32_t>(iter), true);
+                }
             }
         }
         t_ += span;

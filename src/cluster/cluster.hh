@@ -21,10 +21,11 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "kernelc/predecode.hh"
 #include "kernelc/schedule.hh"
 #include "sim/component.hh"
 #include "sim/config.hh"
@@ -59,6 +60,11 @@ struct ClusterStats
 
     uint64_t kernelsRun = 0;
     uint64_t kernelStreamWords = 0; ///< sum of per-run max stream length
+
+    /** High-water mark of per-kernel bind-cache entries (monotone). */
+    uint64_t bindCachePeakKernels = 0;
+    /** Bind-cache entries evicted past the LRU cap. */
+    uint64_t bindCacheEvictions = 0;
 
     /** Per-launch kernel run lengths, power-of-two bucketed. */
     static constexpr size_t numKernelCycleBuckets = 16;
@@ -166,6 +172,25 @@ class ClusterArray : public Component
     void accountMix(const kernelc::OpMix &mix, uint64_t times);
     void finishLoopBookkeeping();
 
+    // --- pre-decoded micro-op engine (DESIGN.md section 9) ------------
+    /**
+     * Resolve one micro-op operand to an 8-lane row: either a pointer
+     * straight into values_ or @p scratch filled by splat/fallback.
+     */
+    const Word *resolveSrc(const kernelc::MicroSrc &s, uint32_t iter,
+                           uint32_t rowSlot, Word *scratch) const;
+    /** Execute one micro-op for all lanes. */
+    void execMicro(const kernelc::MicroOp &m, uint32_t iter,
+                   uint32_t rowSlot);
+    /** Stream-readiness check for loop bucket @p b at iteration base. */
+    bool microLoopCanIssue(size_t b, uint64_t iterBase,
+                           bool filter) const;
+    /** Stream-readiness check for a block-region micro-op group. */
+    bool microBlockCanIssue(const kernelc::LoweredRegion &L,
+                            size_t begin, size_t end) const;
+    /** Execute every live micro-op at loop position @p p. */
+    void execLoopPositionMicro(uint64_t p);
+
     const MachineConfig &cfg_;
     Srf &srf_;
     std::vector<Word> ucrs_;
@@ -184,14 +209,27 @@ class ClusterArray : public Component
     std::vector<std::array<Word, numClusters>> scratchpad_;
     std::vector<std::vector<kernelc::ScheduledOp>> loopBuckets_;
     std::vector<kernelc::ScheduledOp> proOps_, epiOps_;  // time-sorted
-    /** Saved accumulator finals for restart carry-over, per kernel. */
-    std::unordered_map<const kernelc::CompiledKernel *,
-                       std::unordered_map<uint32_t,
-                                          std::array<Word, numClusters>>>
-        accSaved_;
+    /**
+     * Per-kernel bind-time state: run history (Restart guard), saved
+     * accumulator finals for restart carry-over, the shared lowered
+     * micro-op trace, and an LRU stamp.  Entries past
+     * cfg.clusterBindCacheKernels are evicted least-recently-launched
+     * first (the previous design grew without bound across a session's
+     * kernel population).
+     */
+    struct KernelBind
+    {
+        bool hasRun = false;
+        uint64_t lastUse = 0;
+        std::unordered_map<uint32_t, std::array<Word, numClusters>>
+            accSaved;
+        std::shared_ptr<const kernelc::LoweredKernel> lowered;
+    };
+    std::unordered_map<const kernelc::CompiledKernel *, KernelBind>
+        binds_;
+    uint64_t bindClock_ = 0;
+    KernelBind *curBind_ = nullptr;
     const kernelc::CompiledKernel *lastKernel_ = nullptr;
-    /** Kernels that have been launched at least once (Restart guard). */
-    std::unordered_set<const kernelc::CompiledKernel *> hasRun_;
     bool skipPrologue_ = false;
     uint64_t loopWindow_ = 0;   ///< total issue window of the main loop
     uint64_t loopTotal_ = 0;    ///< main-loop cycle count for this launch
@@ -235,6 +273,18 @@ class ClusterArray : public Component
     uint64_t stallWatchdog_ = 0;
     /** Latched insResident() result for the current launch. */
     mutable bool insResident_ = false;
+    /**
+     * Lowered trace of the current kernel (owned by curBind_), or
+     * nullptr when the interpretive path is active
+     * (cfg.predecode == false or IMAGINE_NO_PREDECODE set).
+     */
+    const kernelc::LoweredKernel *low_ = nullptr;
+    /** IMAGINE_NO_PREDECODE seen at construction. */
+    bool noPredecodeEnv_ = false;
+    /** Row slot epilogue consumers read: (trip-1) & mask (0 if trip 0). */
+    uint32_t epiRowSlot_ = 0;
+    /** Issue cursors into low_->prologue / low_->epilogue. */
+    size_t proCursor_ = 0, epiCursor_ = 0;
     /** Per-cycle scratch (avoids per-tick allocation). */
     mutable std::vector<const kernelc::ScheduledOp *> opScratch_;
     mutable std::vector<uint32_t> iterScratch_;

@@ -34,6 +34,12 @@ ImagineSystem::ImagineSystem(const MachineConfig &cfg)
     // binary (benches included) can be A/B'd without a rebuild.
     if (getenv("IMAGINE_NO_SKIP"))
         cfg_.eventDriven = false;
+    // Same pattern for the pre-decoded micro-op engine; the cluster
+    // array also checks the variable itself so rigs that bypass
+    // ImagineSystem honor it, but flipping the config here keeps the
+    // session's view of its own knobs accurate.
+    if (getenv("IMAGINE_NO_PREDECODE"))
+        cfg_.predecode = false;
     if (cfg_.faults.enabled) {
         inj_ = std::make_unique<FaultInjector>(cfg_.faults);
         srf_.setFaultInjector(inj_.get());
@@ -53,6 +59,12 @@ ImagineSystem::ImagineSystem(const MachineConfig &cfg)
     });
     stats_.scalar("kernelc.cacheMisses", [] {
         return kernelc::CompileCache::instance().misses();
+    });
+    stats_.scalar("kernelc.loweredHits", [] {
+        return kernelc::CompileCache::instance().loweredHits();
+    });
+    stats_.scalar("kernelc.loweredMisses", [] {
+        return kernelc::CompileCache::instance().loweredMisses();
     });
 }
 

@@ -1,5 +1,7 @@
 #include "isa/opcode.hh"
 
+#include "isa/arith_inline.hh"
+
 #include <cmath>
 
 #include "sim/log.hh"
@@ -177,129 +179,21 @@ unitsPerCluster(FuClass cls, const MachineConfig &cfg)
     }
 }
 
-namespace
-{
-
-// Packed helpers -----------------------------------------------------
-
-Word
-map16(Word a, Word b, uint16_t (*f)(uint16_t, uint16_t))
-{
-    return pack16(f(sub16(a, 1), sub16(b, 1)), f(sub16(a, 0), sub16(b, 0)));
-}
-
-Word
-map8(Word a, Word b, uint8_t (*f)(uint8_t, uint8_t))
-{
-    return pack8(f(sub8(a, 3), sub8(b, 3)), f(sub8(a, 2), sub8(b, 2)),
-                 f(sub8(a, 1), sub8(b, 1)), f(sub8(a, 0), sub8(b, 0)));
-}
-
-uint16_t u16add(uint16_t a, uint16_t b) { return a + b; }
-uint16_t u16sub(uint16_t a, uint16_t b) { return a - b; }
-uint16_t
-u16absd(uint16_t a, uint16_t b)
-{
-    int32_t d = static_cast<int16_t>(a) - static_cast<int16_t>(b);
-    return static_cast<uint16_t>(d < 0 ? -d : d);
-}
-uint16_t
-s16min(uint16_t a, uint16_t b)
-{
-    return static_cast<int16_t>(a) < static_cast<int16_t>(b) ? a : b;
-}
-uint16_t
-s16max(uint16_t a, uint16_t b)
-{
-    return static_cast<int16_t>(a) > static_cast<int16_t>(b) ? a : b;
-}
-uint16_t
-s16mul(uint16_t a, uint16_t b)
-{
-    return static_cast<uint16_t>(static_cast<int16_t>(a) *
-                                 static_cast<int16_t>(b));
-}
-uint8_t u8add(uint8_t a, uint8_t b) { return a + b; }
-uint8_t u8sub(uint8_t a, uint8_t b) { return a - b; }
-uint8_t
-u8absd(uint8_t a, uint8_t b)
-{
-    return a > b ? a - b : b - a;
-}
-
-} // namespace
-
+/**
+ * Interpretive dispatch into the shared per-opcode scalar evaluators
+ * (isa/arith_inline.hh) - the same instantiations the pre-decoded
+ * micro-op engine inlines into its 8-lane loops, so the two execution
+ * paths share one functional definition per opcode.
+ */
 Word
 evalArith(Opcode op, const Word in[3])
 {
-    const Word a = in[0];
-    const Word b = in[1];
-    const float fa = wordToFloat(a);
-    const float fb = wordToFloat(b);
-    const int32_t ia = wordToInt(a);
-    const int32_t ib = wordToInt(b);
-
     switch (op) {
-      case Opcode::Fadd: return floatToWord(fa + fb);
-      case Opcode::Fsub: return floatToWord(fa - fb);
-      case Opcode::Fabs: return floatToWord(std::fabs(fa));
-      case Opcode::Fneg: return floatToWord(-fa);
-      case Opcode::Fmin: return floatToWord(std::fmin(fa, fb));
-      case Opcode::Fmax: return floatToWord(std::fmax(fa, fb));
-      case Opcode::Flt:  return fa < fb ? 1 : 0;
-      case Opcode::Fle:  return fa <= fb ? 1 : 0;
-      case Opcode::Feq:  return fa == fb ? 1 : 0;
-      case Opcode::Ftoi: return intToWord(static_cast<int32_t>(fa));
-      case Opcode::Itof: return floatToWord(static_cast<float>(ia));
-
-      case Opcode::Iadd: return intToWord(ia + ib);
-      case Opcode::Isub: return intToWord(ia - ib);
-      case Opcode::Iand: return a & b;
-      case Opcode::Ior:  return a | b;
-      case Opcode::Ixor: return a ^ b;
-      case Opcode::Shl:  return a << (b & 31);
-      case Opcode::Shr:  return a >> (b & 31);
-      case Opcode::Sra:  return intToWord(ia >> (b & 31));
-      case Opcode::Ilt:  return ia < ib ? 1 : 0;
-      case Opcode::Ile:  return ia <= ib ? 1 : 0;
-      case Opcode::Ieq:  return ia == ib ? 1 : 0;
-      case Opcode::Imin: return intToWord(ia < ib ? ia : ib);
-      case Opcode::Imax: return intToWord(ia > ib ? ia : ib);
-      case Opcode::Iabs: return intToWord(ia < 0 ? -ia : ia);
-      case Opcode::Select: return a ? b : in[2];
-      case Opcode::Mov:  return a;
-
-      case Opcode::Add16x2:  return map16(a, b, u16add);
-      case Opcode::Sub16x2:  return map16(a, b, u16sub);
-      case Opcode::Absd16x2: return map16(a, b, u16absd);
-      case Opcode::Min16x2:  return map16(a, b, s16min);
-      case Opcode::Max16x2:  return map16(a, b, s16max);
-      case Opcode::Shr16x2:
-        return pack16(static_cast<uint16_t>(sub16(a, 1) >> (b & 15)),
-                      static_cast<uint16_t>(sub16(a, 0) >> (b & 15)));
-      case Opcode::Hadd16x2:
-        return intToWord(static_cast<int32_t>(static_cast<int16_t>(
-                             sub16(a, 0))) +
-                         static_cast<int16_t>(sub16(a, 1)));
-      case Opcode::Add8x4:  return map8(a, b, u8add);
-      case Opcode::Sub8x4:  return map8(a, b, u8sub);
-      case Opcode::Absd8x4: return map8(a, b, u8absd);
-      case Opcode::Hadd8x4:
-        return sub8(a, 0) + sub8(a, 1) + sub8(a, 2) + sub8(a, 3);
-
-      case Opcode::Fmul: return floatToWord(fa * fb);
-      case Opcode::Imul: return intToWord(ia * ib);
-      case Opcode::Mul16x2: return map16(a, b, s16mul);
-      case Opcode::Dot16x2:
-        return intToWord(
-            static_cast<int32_t>(static_cast<int16_t>(sub16(a, 0))) *
-                static_cast<int16_t>(sub16(b, 0)) +
-            static_cast<int32_t>(static_cast<int16_t>(sub16(a, 1))) *
-                static_cast<int16_t>(sub16(b, 1)));
-
-      case Opcode::Fdiv:  return floatToWord(fa / fb);
-      case Opcode::Fsqrt: return floatToWord(std::sqrt(fa));
-
+#define IMAGINE_M(name)                                                  \
+      case Opcode::name:                                                 \
+        return evalArithScalar<Opcode::name>(in[0], in[1], in[2]);
+    IMAGINE_ARITH_OPS(IMAGINE_M)
+#undef IMAGINE_M
       default:
         IMAGINE_PANIC("evalArith: opcode %s is not a pure arithmetic op",
                       opInfo(op).name);

@@ -177,6 +177,28 @@ struct MachineConfig
      * A/B axis (--no-skip in the examples).
      */
     bool eventDriven = true;
+    /**
+     * Pre-decoded micro-op execution engine (DESIGN.md section 9): at
+     * kernel bind, lower the scheduled ops to a flat micro-op trace
+     * (dense handler index, operand rows pre-resolved into the value
+     * buffers, power-of-two depth masking) that the issue loop walks
+     * linearly; the SRF moves each granted per-cycle word batch as one
+     * block.  Results, stats, fault traces and cycle counts are
+     * bit-identical to the interpretive path
+     * (tests/predecode_test.cc); off is the escape hatch and the A/B
+     * axis (IMAGINE_NO_PREDECODE=1 for any binary).
+     */
+    bool predecode = true;
+    /**
+     * Cap on per-kernel cluster bind-cache entries (lowered-trace
+     * handles, restart accumulator carry-over, run history).  Least
+     * recently launched kernels are evicted past the cap; a Restart of
+     * an evicted kernel fails the prior-run assertion loudly instead
+     * of silently resetting its accumulators.  Engine-only: no
+     * architectural effect below the cap, and far above any real
+     * program's kernel count by default.
+     */
+    int clusterBindCacheKernels = 128;
 
     // ------------------------------------------------------------------
     // Derived quantities

@@ -88,7 +88,7 @@ Srf::openIn(const Sdr &sdr, uint32_t minWindow)
     c.windowWords = std::max(
         static_cast<uint32_t>(cfg_.streamBufferWords) * numClusters,
         minWindow);
-    c.window.assign(c.windowWords, false);
+    c.window.assign(c.windowWords, 0);
     int id = -1;
     for (size_t i = 0; i < clients_.size(); ++i) {
         if (!clients_[i].active) {
@@ -143,13 +143,40 @@ Srf::inConsume(int client, uint32_t elem)
     IMAGINE_ASSERT(!c.window[elem % c.windowWords],
                    "SRF element %u consumed twice", elem);
     Word w = data_[c.offset + elem];
-    c.window[elem % c.windowWords] = true;
+    c.window[elem % c.windowWords] = 1;
     while (c.base < c.fetched && c.window[c.base % c.windowWords]) {
-        c.window[c.base % c.windowWords] = false;
+        c.window[c.base % c.windowWords] = 0;
         ++c.base;
     }
     updateMovable(c);   // base advanced: window space may have opened
     return w;
+}
+
+void
+Srf::inConsumeRow(int client, uint32_t first, uint32_t stride, Word *dst)
+{
+    Client &c = at(client);
+    IMAGINE_ASSERT(c.isIn, "inConsume on output client");
+    uint32_t last = first + (numClusters - 1) * stride;
+    IMAGINE_ASSERT(first >= c.base && last < c.fetched,
+                   "SRF consume of row [%u, %u] outside window [%u, %u)",
+                   first, last, c.base, c.fetched);
+    const Word *src = &data_[c.offset];
+    for (int l = 0; l < numClusters; ++l) {
+        uint32_t elem = first + static_cast<uint32_t>(l) * stride;
+        IMAGINE_ASSERT(!c.window[elem % c.windowWords],
+                       "SRF element %u consumed twice", elem);
+        dst[l] = src[elem];
+        c.window[elem % c.windowWords] = 1;
+    }
+    // One base-advance sweep: the eight marks commute, so the final
+    // base (and therefore the arbiter-visible window space) matches
+    // eight sequential consumes exactly.
+    while (c.base < c.fetched && c.window[c.base % c.windowWords]) {
+        c.window[c.base % c.windowWords] = 0;
+        ++c.base;
+    }
+    updateMovable(c);
 }
 
 bool
@@ -181,9 +208,43 @@ Srf::outProduce(int client, uint32_t elem, Word w)
         }
     }
     data_[c.offset + elem] = w;
-    c.window[elem % c.windowWords] = true;
+    c.window[elem % c.windowWords] = 1;
     c.produced = std::max(c.produced, elem + 1);
     updateMovable(c);   // the word at base may now be drainable
+}
+
+void
+Srf::outProduceRow(int client, uint32_t first, uint32_t stride,
+                   const Word *vals)
+{
+    Client &c = at(client);
+    IMAGINE_ASSERT(!c.isIn, "outProduce on input client");
+    uint32_t last = first + (numClusters - 1) * stride;
+    IMAGINE_ASSERT(first >= c.base && last < c.base + c.windowWords,
+                   "SRF produce of row [%u, %u] outside window at base %u",
+                   first, last, c.base);
+    IMAGINE_ASSERT(c.offset + last < size_,
+                   "stream overflow: element %u of stream at %u", last,
+                   c.offset);
+    Word *arr = &data_[c.offset];
+    for (int l = 0; l < numClusters; ++l) {
+        uint32_t elem = first + static_cast<uint32_t>(l) * stride;
+        IMAGINE_ASSERT(!c.window[elem % c.windowWords],
+                       "SRF element %u produced twice", elem);
+        Word w = vals[l];
+        if (inj_) {
+            FaultInjector::Flip f = inj_->onSrfWrite(c.offset + elem, w);
+            if (f.hit) {
+                w = f.word;
+                if (f.detected)
+                    c.faulted = true;
+            }
+        }
+        arr[elem] = w;
+        c.window[elem % c.windowWords] = 1;
+    }
+    c.produced = std::max(c.produced, last + 1);
+    updateMovable(c);
 }
 
 uint32_t
@@ -211,27 +272,66 @@ Srf::tick()
         return;
     }
     int tokens = cfg_.srfBandwidthWordsPerCycle;
-    // Round-robin water-filling: each pass grants one word to every
-    // still-eligible client in cursor order; the cached movable flag
-    // is exactly the demand-and-space predicate the original per-field
-    // tests computed, so the word-for-word allocation is unchanged.
+    // Round-robin water-filling, granted as block transfers.  Within a
+    // tick a client's grantable word count is fixed (consumes and
+    // produces happen outside tick, so base/produced/fetched demand
+    // cannot grow), and it is exactly the word count after which the
+    // per-word loop's updateMovable would have flipped the client
+    // ineligible:
+    //   in:  min(length, base + windowWords) - fetched
+    //   out: the run of consecutive present window bits from base.
+    // Simulating the one-word-per-pass allocation over the compacted
+    // (cursor-ordered) movable list with those caps therefore grants
+    // word-for-word what the per-word loop granted - including the
+    // partial final pass - and each client's words then move as one
+    // bounds-checked block.
+    grantIdx_.clear();
+    grantCap_.clear();
+    grantCnt_.clear();
+    uint32_t tok32 = static_cast<uint32_t>(tokens);
+    for (size_t k = 0; k < clients_.size(); ++k) {
+        size_t idx = (rrNext_ + k) % clients_.size();
+        const Client &c = clients_[idx];
+        if (!c.movable)
+            continue;
+        uint32_t cap;
+        if (c.isIn) {
+            cap = std::min(c.length, c.base + c.windowWords) - c.fetched;
+        } else {
+            // Scan bounded by the tokens this tick could spend.
+            cap = 0;
+            while (cap < tok32 && c.base + cap < c.produced &&
+                   c.window[(c.base + cap) % c.windowWords])
+                ++cap;
+        }
+        grantIdx_.push_back(static_cast<uint32_t>(idx));
+        grantCap_.push_back(std::min(cap, tok32));
+        grantCnt_.push_back(0);
+    }
     bool progress = true;
     while (tokens > 0 && progress) {
         progress = false;
-        for (size_t k = 0; k < clients_.size() && tokens > 0; ++k) {
-            Client &c = clients_[(rrNext_ + k) % clients_.size()];
-            if (!c.movable)
-                continue;
-            if (c.isIn) {
-                ++c.fetched;
-            } else {
-                c.window[c.base % c.windowWords] = false;
-                ++c.base;
+        for (size_t i = 0; i < grantIdx_.size() && tokens > 0; ++i) {
+            if (grantCnt_[i] < grantCap_[i]) {
+                ++grantCnt_[i];
+                --tokens;
+                progress = true;
             }
-            --tokens;
-            progress = true;
-            updateMovable(c);
         }
+    }
+    for (size_t i = 0; i < grantIdx_.size(); ++i) {
+        uint32_t g = grantCnt_[i];
+        if (g == 0)
+            continue;
+        Client &c = clients_[grantIdx_[i]];
+        if (c.isIn) {
+            c.fetched += g;
+        } else {
+            for (uint32_t r = 0; r < g; ++r)
+                c.window[(c.base + r) % c.windowWords] = 0;
+            c.base += g;
+        }
+        updateMovable(c);
     }
     rrNext_ = (rrNext_ + 1) % clients_.size();
     uint64_t moved =

@@ -82,6 +82,17 @@ class Srf : public Component
     /** Consume stream word @p elem (must be inReady). */
     Word inConsume(int client, uint32_t elem);
     /**
+     * Consume one SIMD row: elements first + lane * stride for the
+     * eight lanes, into @p dst.  Bounds and double-consume checks, the
+     * final buffer-window state and the arbiter-visible effects are
+     * identical to eight inConsume calls in lane order; the base
+     * advance and eligibility update run once per row instead of per
+     * word (the cluster's granted-path block transfer, DESIGN.md
+     * section 9).
+     */
+    void inConsumeRow(int client, uint32_t first, uint32_t stride,
+                      Word *dst);
+    /**
      * True when every word of the stream is already in the buffer: the
      * arbiter has nothing left to move for this client, so consumption
      * can never stall nor create SRF work (the basis of the cluster's
@@ -98,6 +109,14 @@ class Srf : public Component
     bool outCanAccept(int client, uint32_t elem) const;
     /** Produce stream word @p elem (must be accepted). */
     void outProduce(int client, uint32_t elem, Word w);
+    /**
+     * Produce one SIMD row: elements first + lane * stride from
+     * @p vals.  Per-word asserts and fault injection run in lane order
+     * (the injector's decision sequence is unchanged); the eligibility
+     * update runs once per row.
+     */
+    void outProduceRow(int client, uint32_t first, uint32_t stride,
+                       const Word *vals);
     /** Conditional-stream append position (next element index). */
     uint32_t outAppendPos(int client) const;
 
@@ -136,7 +155,9 @@ class Srf : public Component
         uint32_t base = 0;          ///< first un-retired element
         uint32_t fetched = 0;       ///< in: elements streamed into buffer
         uint32_t produced = 0;      ///< out: highest produced element + 1
-        std::vector<bool> window;   ///< consumed (in) / present (out)
+        /** Consumed (in) / present (out) flags, one byte per word
+         *  (byte flags beat std::vector<bool> bit ops on this path). */
+        std::vector<uint8_t> window;
         uint32_t windowWords = 0;
         bool faulted = false;       ///< detected fault in written data
         /**
@@ -160,6 +181,8 @@ class Srf : public Component
     std::vector<Client> clients_;
     int movableCount_ = 0;          ///< clients with movable == true
     size_t rrNext_ = 0;             ///< round-robin arbitration cursor
+    /** Per-tick arbiter scratch (movable clients, caps, grants). */
+    std::vector<uint32_t> grantIdx_, grantCap_, grantCnt_;
     SrfStats stats_;
 };
 
