@@ -6,7 +6,10 @@
  *
  *  - predecode on vs off (the pre-decoded micro-op engine +
  *    SRF block transfers, DESIGN.md section 9) - the headline;
- *  - event-horizon fast-forward on vs off (DESIGN.md section 8).
+ *  - event-horizon fast-forward on vs off (DESIGN.md section 8);
+ *  - tracing on vs off (DESIGN.md section 10) - an overhead axis:
+ *    the speedup is expected to sit below 1.0 and quantifies what a
+ *    traced run costs.
  *
  * This is a plain executable (not a google-benchmark binary) so it can
  * emit a machine-readable summary:
@@ -41,11 +44,13 @@ struct Timed
 };
 
 Timed
-runApp(const char *name, bool eventDriven, bool predecode)
+runApp(const char *name, bool eventDriven, bool predecode,
+       bool traceOn = false)
 {
     MachineConfig mc = MachineConfig::devBoard();
     mc.eventDriven = eventDriven;
     mc.predecode = predecode;
+    mc.trace = traceOn;
     ImagineSystem sys(mc);
     Timed t;
     if (std::string(name) == "depth") {
@@ -158,7 +163,17 @@ main(int argc, char **argv)
     AxisResult skip = measureAxis(
         "SkipOn", "SkipOff",
         [](const char *name, bool on) { return runApp(name, on, true); });
-    std::printf("skip geomean speedup %.2fx\n", skip.geomean);
+    std::printf("skip geomean speedup %.2fx\n\n", skip.geomean);
+
+    std::printf("-- trace on vs off (all engine knobs on) --\n");
+    AxisResult trc = measureAxis(
+        "TraceOn", "TraceOff", [](const char *name, bool on) {
+            return runApp(name, true, true, on);
+        });
+    std::printf("trace geomean speedup %.2fx (overhead %.1f%%)\n",
+                trc.geomean,
+                trc.geomean > 0.0 ? 100.0 * (1.0 / trc.geomean - 1.0)
+                                  : 0.0);
 
 #if defined(__clang__)
     const char *compiler = "clang " __clang_version__;
@@ -174,10 +189,12 @@ main(int argc, char **argv)
         "{\"host\":{\"hardwareThreads\":%u,\"compiler\":\"%s\","
         "\"buildType\":\"%s\"},"
         "\"predecodeAB\":{\"apps\":%s,\"geomeanSpeedup\":%.17g},"
-        "\"skipAB\":{\"apps\":%s,\"geomeanSpeedup\":%.17g}}",
+        "\"skipAB\":{\"apps\":%s,\"geomeanSpeedup\":%.17g},"
+        "\"traceAB\":{\"apps\":%s,\"geomeanSpeedup\":%.17g}}",
         std::thread::hardware_concurrency(), compiler,
         IMAGINE_BUILD_TYPE, pre.json.c_str(), pre.geomean,
-        skip.json.c_str(), skip.geomean);
+        skip.json.c_str(), skip.geomean, trc.json.c_str(),
+        trc.geomean);
 
     if (FILE *f = std::fopen(outPath, "w")) {
         std::fputs(json.c_str(), f);
@@ -187,5 +204,5 @@ main(int argc, char **argv)
         std::fprintf(stderr, "perf_smoke: cannot write %s\n", outPath);
         return 1;
     }
-    return pre.ok && skip.ok ? 0 : 1;
+    return pre.ok && skip.ok && trc.ok ? 0 : 1;
 }

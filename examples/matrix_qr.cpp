@@ -5,7 +5,7 @@
  * numerically, and reports the machine-level metrics the paper
  * highlights for QRD (GFLOPS, IPC, power).
  *
- *   ./examples/matrix_qr [--json] [--no-skip] [rows cols]
+ *   ./examples/matrix_qr [--json] [--no-skip] [--trace=FILE] [rows cols]
  *
  * With --json, prints the RunResult as JSON (schema in README.md)
  * instead of the human-readable report.
@@ -25,6 +25,7 @@ int
 main(int argc, char **argv)
 try {
     bool json = false;
+    const char *tracePath = nullptr;
     MachineConfig mc = MachineConfig::devBoard();
     int rows = 0, cols = 0, npos = 0;
     for (int i = 1; i < argc; ++i) {
@@ -32,7 +33,10 @@ try {
             json = true;
         else if (std::strcmp(argv[i], "--no-skip") == 0)
             mc.eventDriven = false;
-        else
+        else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+            tracePath = argv[i] + 8;
+            mc.trace = true;
+        } else
             (npos++ ? cols : rows) = std::atoi(argv[i]);
     }
     QrdConfig cfg;
@@ -42,6 +46,9 @@ try {
     }
     ImagineSystem sys(mc);
     AppResult r = runQrd(sys, cfg);
+    if (tracePath &&
+        !trace::writePerfetto(*sys.traceSink(), tracePath))
+        std::fprintf(stderr, "matrix_qr: cannot write %s\n", tracePath);
     if (json) {
         std::printf("%s\n", r.run.toJson().c_str());
         return r.validated ? 0 : 1;

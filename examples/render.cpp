@@ -5,7 +5,7 @@
  * as ASCII art, plus the host-dependency statistics that make RTSL the
  * paper's overhead case study.
  *
- *   ./examples/render [--json] [--no-skip]
+ *   ./examples/render [--json] [--no-skip] [--trace=FILE]
  *
  * With --json, prints the RunResult as JSON (schema in README.md)
  * instead of the human-readable report.
@@ -23,12 +23,17 @@ int
 main(int argc, char **argv)
 try {
     bool json = false;
+    const char *tracePath = nullptr;
     MachineConfig mc = MachineConfig::devBoard();
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0)
             json = true;
         else if (std::strcmp(argv[i], "--no-skip") == 0)
             mc.eventDriven = false;
+        else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+            tracePath = argv[i] + 8;
+            mc.trace = true;
+        }
     }
     ImagineSystem sys(mc);
     RtslConfig cfg;
@@ -36,6 +41,9 @@ try {
     cfg.triangles = 1536;
     cfg.batch = 192;
     AppResult r = runRtsl(sys, cfg);
+    if (tracePath &&
+        !trace::writePerfetto(*sys.traceSink(), tracePath))
+        std::fprintf(stderr, "render: cannot write %s\n", tracePath);
 
     if (json) {
         std::printf("%s\n", r.run.toJson().c_str());

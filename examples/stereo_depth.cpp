@@ -4,12 +4,13 @@
  * section 2.1): runs the full DEPTH pipeline on a synthetic stereo
  * pair and renders the recovered disparity map as ASCII art.
  *
- *   ./examples/stereo_depth [--json] [--no-skip]
+ *   ./examples/stereo_depth [--json] [--no-skip] [--trace=FILE]
  *
  * With --json, prints the RunResult as JSON (schema in README.md)
  * instead of the human-readable report.  --no-skip disables the
  * event-horizon fast-forward (the A/B axis for bit-identity checks;
- * the JSON must not change).
+ * the JSON must not change).  --trace=FILE enables cycle tracing and
+ * writes a Chrome/Perfetto trace_event file (open in ui.perfetto.dev).
  */
 
 #include <cstdio>
@@ -24,12 +25,17 @@ int
 main(int argc, char **argv)
 try {
     bool json = false;
+    const char *tracePath = nullptr;
     MachineConfig mc = MachineConfig::devBoard();
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0)
             json = true;
         else if (std::strcmp(argv[i], "--no-skip") == 0)
             mc.eventDriven = false;
+        else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+            tracePath = argv[i] + 8;
+            mc.trace = true;
+        }
     }
     ImagineSystem sys(mc);
     DepthConfig cfg;
@@ -37,6 +43,10 @@ try {
     cfg.height = 46;    // 32 valid output rows
     cfg.disparities = 8;
     AppResult r = runDepth(sys, cfg);
+    if (tracePath &&
+        !trace::writePerfetto(*sys.traceSink(), tracePath))
+        std::fprintf(stderr, "stereo_depth: cannot write %s\n",
+                     tracePath);
 
     if (json) {
         std::printf("%s\n", r.run.toJson().c_str());

@@ -4,7 +4,7 @@
  * (intra frame + motion-predicted frames) and reports compression
  * statistics alongside the machine metrics.
  *
- *   ./examples/video_encode [--json] [--no-skip] [frames]
+ *   ./examples/video_encode [--json] [--no-skip] [--trace=FILE] [frames]
  *
  * With --json, prints the RunResult as JSON (schema in README.md)
  * instead of the human-readable report.
@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 try {
     bool json = false;
+    const char *tracePath = nullptr;
     MachineConfig mc = MachineConfig::devBoard();
     MpegConfig cfg;
     for (int i = 1; i < argc; ++i) {
@@ -30,11 +31,18 @@ try {
             json = true;
         else if (std::strcmp(argv[i], "--no-skip") == 0)
             mc.eventDriven = false;
-        else
+        else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+            tracePath = argv[i] + 8;
+            mc.trace = true;
+        } else
             cfg.frames = std::atoi(argv[i]);
     }
     ImagineSystem sys(mc);
     AppResult r = runMpeg(sys, cfg);
+    if (tracePath &&
+        !trace::writePerfetto(*sys.traceSink(), tracePath))
+        std::fprintf(stderr, "video_encode: cannot write %s\n",
+                     tracePath);
 
     if (json) {
         std::printf("%s\n", r.run.toJson().c_str());

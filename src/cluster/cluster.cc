@@ -6,6 +6,7 @@
 #include "kernelc/compile_cache.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
+#include "trace/trace.hh"
 
 namespace imagine
 {
@@ -278,6 +279,100 @@ ClusterArray::start(const CompiledKernel *k, std::vector<Binding> ins,
     for (const Binding &b : ins_)
         maxLen = std::max(maxLen, b.length);
     stats_.kernelStreamWords += maxLen;
+
+    if (trace_)
+        traceKernelStart();
+}
+
+void
+ClusterArray::setTrace(trace::TraceSink *sink)
+{
+    trace_ = sink;
+    if (!sink)
+        return;
+    tPhase_ = sink->addTrack(trace::Cluster, "phase");
+    tKernel_ = sink->addTrack(trace::Cluster, "kernel");
+    tIssue_ = sink->addTrack(trace::Cluster, "issue");
+    tStall_ = sink->addTrack(trace::Cluster, "stall");
+    struct { FuClass cls; const char *base; } classes[] = {
+        {FuClass::Adder, "add"}, {FuClass::Mul, "mul"},
+        {FuClass::Dsq, "dsq"},   {FuClass::Sp, "sp"},
+        {FuClass::Comm, "comm"}, {FuClass::SbIn, "sbin"},
+        {FuClass::SbOut, "sbout"},
+    };
+    fuTracks_.clear();
+    for (const auto &c : classes) {
+        fuOff_[static_cast<size_t>(c.cls)] =
+            static_cast<uint32_t>(fuTracks_.size());
+        int n = unitsPerCluster(c.cls, cfg_);
+        for (int i = 0; i < n; ++i)
+            fuTracks_.push_back(sink->addTrack(
+                trace::Cluster,
+                n > 1 ? strfmt("%s%d", c.base, i)
+                      : std::string(c.base)));
+    }
+}
+
+void
+ClusterArray::tracePhase(const char *name)
+{
+    // The transition tick belongs to the phase it closes; the new
+    // phase's first cycle is the next one.
+    Cycle c = trace_->now() + 1;
+    trace_->closeSpan(tPhase_, c);
+    if (name)
+        trace_->openSpan(tPhase_, c, name);
+}
+
+void
+ClusterArray::traceKernelStart()
+{
+    traceKernelStart_ = trace_->now();
+    traceArith0_ = stats_.arithOps;
+    traceFp0_ = stats_.fpOps;
+    // Per-FU busy cycles come straight from the schedule: every
+    // scheduled op occupies its assigned unit for opOccupancy cycles,
+    // loop ops once per iteration.
+    traceFuBusy_.assign(fuTracks_.size(), 0);
+    auto account = [this](const ScheduledOp &s, uint64_t times) {
+        Opcode op = kernel_->graph.nodes[s.node].op;
+        FuClass cls = opInfo(op).cls;
+        if (cls == FuClass::None)
+            return;
+        int n = unitsPerCluster(cls, cfg_);
+        size_t idx = fuOff_[static_cast<size_t>(cls)] +
+                     static_cast<size_t>(
+                         std::min<int>(s.unit, n - 1));
+        traceFuBusy_[idx] +=
+            times * static_cast<uint64_t>(opOccupancy(op, cfg_));
+    };
+    for (const ScheduledOp &s : kernel_->loop.ops)
+        account(s, trip_);
+    if (!skipPrologue_)
+        for (const ScheduledOp &s : proOps_)
+            account(s, 1);
+    for (const ScheduledOp &s : epiOps_)
+        account(s, 1);
+    trace_->openSpan(tKernel_, traceKernelStart_,
+                     trace_->intern(kernel_->name()), trip_);
+    trace_->openSpan(tPhase_, traceKernelStart_, "startup");
+}
+
+void
+ClusterArray::traceKernelRetire()
+{
+    Cycle end = trace_->now();
+    trace_->closeSpan(tPhase_, end);    // the post-shutdown drain span
+    trace_->closeSpanArgs(tKernel_, end,
+                          stats_.arithOps - traceArith0_,
+                          stats_.fpOps - traceFp0_);
+    Cycle dur = end - traceKernelStart_;
+    for (size_t i = 0; i < fuTracks_.size(); ++i) {
+        if (!traceFuBusy_[i])
+            continue;
+        trace_->span(fuTracks_[i], traceKernelStart_, end, "busy",
+                     std::min<uint64_t>(traceFuBusy_[i], dur));
+    }
 }
 
 Word
@@ -782,6 +877,8 @@ ClusterArray::retire()
     IMAGINE_ASSERT(done(), "retire before kernel completion");
     ++stats_.kernelCycleHist[StatsRegistry::bucketOf(
         kernelCycles_, ClusterStats::numKernelCycleBuckets)];
+    if (trace_)
+        traceKernelRetire();
     phase_ = Phase::Idle;
 }
 
@@ -802,6 +899,9 @@ ClusterArray::tick()
             t_ = 0;
             if (phase_ == Phase::Prologue)
                 accountMix(kernel_->prologueMix, 1);
+            if (trace_)
+                tracePhase(phase_ == Phase::Prologue ? "prologue"
+                                                     : "loop");
         }
         break;
 
@@ -826,6 +926,8 @@ ClusterArray::tick()
         if (++t_ >= static_cast<uint64_t>(kernel_->prologue.length)) {
             phase_ = Phase::Loop;
             t_ = 0;
+            if (trace_)
+                tracePhase("loop");
         }
         break;
       }
@@ -840,6 +942,8 @@ ClusterArray::tick()
                 !microLoopCanIssue(b, t_ / kernel_->loop.ii,
                                    !steady)) {
                 ++stats_.stallCycles;
+                if (trace_)
+                    trace_->touchSpan(tStall_, "stall");
                 if (++stallWatchdog_ > 2'000'000) {
                     IMAGINE_PANIC(
                         "kernel %s wedged in main loop at t=%llu",
@@ -866,6 +970,8 @@ ClusterArray::tick()
                 if (bucketHasStream_[b] &&
                     !cycleCanIssue(opScratch_, true)) {
                     ++stats_.stallCycles;
+                    if (trace_)
+                        trace_->touchSpan(tStall_, "stall");
                     if (++stallWatchdog_ > 2'000'000) {
                         IMAGINE_PANIC(
                             "kernel %s wedged in main loop at t=%llu",
@@ -879,6 +985,8 @@ ClusterArray::tick()
                 collectLoopOps(t_, opScratch_, iterScratch_);
                 if (!cycleCanIssue(opScratch_, true)) {
                     ++stats_.stallCycles;
+                    if (trace_)
+                        trace_->touchSpan(tStall_, "stall");
                     if (++stallWatchdog_ > 2'000'000) {
                         IMAGINE_PANIC(
                             "kernel %s wedged in main loop at t=%llu",
@@ -893,6 +1001,8 @@ ClusterArray::tick()
                 executeOp(*opScratch_[i], iterScratch_[i], true);
         }
         ++stats_.loopCycles;
+        if (trace_)
+            trace_->touchSpan(tIssue_, "issue");
         ++t_;
         if (t_ >= loopTotal_) {
             finishLoopBookkeeping();
@@ -900,6 +1010,9 @@ ClusterArray::tick()
             if (phase_ == Phase::Epilogue)
                 accountMix(kernel_->epilogueMix, 1);
             t_ = 0;
+            if (trace_)
+                tracePhase(phase_ == Phase::Epilogue ? "epilogue"
+                                                     : "shutdown");
         }
         break;
       }
@@ -915,6 +1028,8 @@ ClusterArray::tick()
                 ++end;
             if (!microBlockCanIssue(L, begin, end)) {
                 ++stats_.stallCycles;
+                if (trace_)
+                    trace_->touchSpan(tStall_, "stall");
                 if (++stallWatchdog_ > 2'000'000)
                     IMAGINE_PANIC("kernel %s wedged in epilogue",
                                   kernel_->name());
@@ -932,6 +1047,8 @@ ClusterArray::tick()
             }
             if (!cycleCanIssue(opScratch_, false)) {
                 ++stats_.stallCycles;
+                if (trace_)
+                    trace_->touchSpan(tStall_, "stall");
                 if (++stallWatchdog_ > 2'000'000)
                     IMAGINE_PANIC("kernel %s wedged in epilogue",
                                   kernel_->name());
@@ -945,6 +1062,8 @@ ClusterArray::tick()
         if (++t_ >= static_cast<uint64_t>(kernel_->epilogue.length)) {
             phase_ = Phase::Shutdown;
             t_ = 0;
+            if (trace_)
+                tracePhase("shutdown");
         }
         break;
       }
@@ -954,6 +1073,8 @@ ClusterArray::tick()
         if (++t_ >= static_cast<uint64_t>(cfg_.kernelShutdownCycles)) {
             phase_ = Phase::Done;
             t_ = 0;
+            if (trace_)
+                tracePhase("drain");
         }
         break;
 
@@ -1054,8 +1175,9 @@ ClusterArray::nextEventAfter(Cycle now) const
 }
 
 void
-ClusterArray::skipIdle(Cycle, uint64_t span)
+ClusterArray::skipIdle(Cycle from, uint64_t span)
 {
+    (void)from;
     // Fold the counters a skipped tick would have bumped.  Beyond the
     // countdown phases, only op-free schedule positions advertise
     // horizons past now + 1; their ticks increment exactly these
@@ -1098,6 +1220,11 @@ ClusterArray::skipIdle(Cycle, uint64_t span)
         kernelCycles_ += span;
         stats_.loopCycles += span;
         stallWatchdog_ = 0;
+        // One bucket-granularity issue region for the whole batch;
+        // per-cycle ticking would have touched the same cycles.
+        if (trace_)
+            trace_->mergeSpan(tIssue_, from, from + span, "issue",
+                              span);
     } else if (phase_ == Phase::Prologue) {
         t_ += span;
         kernelCycles_ += span;

@@ -35,6 +35,7 @@ namespace imagine
 {
 
 class StatsRegistry;
+namespace trace { class TraceSink; }
 
 /** Cumulative cluster-array statistics. */
 struct ClusterStats
@@ -132,6 +133,9 @@ class ClusterArray : public Component
     const ClusterStats &stats() const { return stats_; }
     /** Cycles the current (or last) kernel has been running. */
     uint64_t currentKernelCycles() const { return kernelCycles_; }
+
+    /** Attach the session trace sink (null by default: hooks dead). */
+    void setTrace(trace::TraceSink *sink);
 
   private:
     enum class Phase : uint8_t
@@ -288,6 +292,24 @@ class ClusterArray : public Component
     /** Per-cycle scratch (avoids per-tick allocation). */
     mutable std::vector<const kernelc::ScheduledOp *> opScratch_;
     mutable std::vector<uint32_t> iterScratch_;
+
+    // --- tracing (DESIGN.md section 10; all dead when trace_ null) ----
+    /** Close the open phase span and (unless null) open @p name. */
+    void tracePhase(const char *name);
+    /** Compute per-FU busy cycles for the launch from the schedule. */
+    void traceKernelStart();
+    /** Emit kernel span, per-FU busy spans, and the drain close. */
+    void traceKernelRetire();
+    trace::TraceSink *trace_ = nullptr;
+    uint32_t tPhase_ = 0;       ///< phase segments (startup..drain)
+    uint32_t tKernel_ = 0;      ///< one span per launch, op deltas
+    uint32_t tIssue_ = 0;       ///< coalesced issue buckets
+    uint32_t tStall_ = 0;       ///< coalesced lockstep stalls
+    std::vector<uint32_t> fuTracks_;    ///< one per FU instance
+    uint32_t fuOff_[8] = {};    ///< FuClass -> first fuTracks_ index
+    std::vector<uint64_t> traceFuBusy_; ///< busy cycles this launch
+    Cycle traceKernelStart_ = 0;
+    uint64_t traceArith0_ = 0, traceFp0_ = 0;
 
     ClusterStats stats_;
 };

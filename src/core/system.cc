@@ -46,11 +46,25 @@ ImagineSystem::ImagineSystem(const MachineConfig &cfg)
         mem_.setFaultInjector(inj_.get());
         sc_.setFaultInjector(inj_.get());
     }
+    // Same latched-pointer pattern as fault injection: components hold a
+    // null sink by default so every hook is a dead branch, and simulated
+    // state never depends on the sink (hooks are read-only observers).
+    if (cfg_.trace) {
+        trace_ = std::make_unique<trace::TraceSink>(cfg_.traceMaxEvents);
+        engineTrack_ = trace_->addTrack(trace::Engine, "engine");
+        clusters_.setTrace(trace_.get());
+        srf_.setTrace(trace_.get());
+        mem_.setTrace(trace_.get());
+        sc_.setTrace(trace_.get());
+        host_.setTrace(trace_.get());
+    }
 
     for (Component *c : components_)
         c->registerStats(stats_);
     if (inj_)
         inj_->registerStats(stats_);
+    if (trace_)
+        trace_->registerStats(stats_);
     stats_.vector("system.idleCycles", idleCycles_, idleCauseNames());
     // Process-wide compile-cache counters, exposed per session as
     // read-only callback stats.
@@ -185,6 +199,8 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
                         sc_.quiescent() && !clusters_.busy();
         if (finished)
             break;
+        if (trace_)
+            trace_->setNow(cycle_);
         host_.tick(cycle_);
         sc_.tick(cycle_);
         clusters_.tick();
@@ -262,6 +278,23 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
         ++dbgSkips;
         dbgSkipped += h - cycle_;
         uint64_t span = h - cycle_;
+        if (trace_) {
+            // One folded region per skip, on the engine track; merged
+            // with an adjacent fold of the same cause so long idle
+            // stretches stay one span regardless of how many horizon
+            // queries they took.
+            const char *name = "loop-fold";
+            if (!clusters_.busy()) {
+                switch (sc_.idleCause()) {
+                  case IdleCause::UcodeLoad: name = "idle(ucode)"; break;
+                  case IdleCause::Memory: name = "idle(mem)"; break;
+                  case IdleCause::ScOverhead: name = "idle(sc)"; break;
+                  case IdleCause::Host: name = "idle(host)"; break;
+                  default: name = "idle"; break;
+                }
+            }
+            trace_->mergeSpan(engineTrack_, cycle_, h, name, span);
+        }
         for (Component *c : components_)
             c->skipIdle(cycle_, span);
         if (!clusters_.busy())
@@ -287,6 +320,12 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
                 (unsigned long long)dbgKill[2],
                 (unsigned long long)dbgKill[3],
                 (unsigned long long)dbgKill[4]);
+
+    if (trace_) {
+        trace_->setNow(cycle_);
+        trace_->flushOpen(cycle_);
+        r.trace = trace::analyze(*trace_, start, cycle_);
+    }
 
     r.cycles = cycle_ - start;
     r.seconds = static_cast<double>(r.cycles) / cfg_.coreClockHz;
@@ -429,7 +468,12 @@ RunResult::toJson() const
                       static_cast<unsigned long long>(e.where),
                       static_cast<unsigned>(e.mask));
     }
-    out += "]}";
+    out += "]";
+    // Appended last so trace-off output is the exact prefix of trace-on
+    // output: tests strip at ,"trace": to assert bit-identity.
+    if (trace)
+        out += ",\"trace\":" + trace->toJson();
+    out += "}";
     return out;
 }
 

@@ -35,6 +35,7 @@
 #include "sim/stats.hh"
 #include "srf/srf.hh"
 #include "streamc/program_builder.hh"
+#include "trace/trace.hh"
 
 namespace imagine
 {
@@ -100,6 +101,9 @@ struct RunResult
     FaultStats faults;
     /** Faults injected during this run, in deterministic order. */
     std::vector<FaultEvent> faultTrace;
+
+    /** Trace-derived analytics (null unless config().trace was set). */
+    std::shared_ptr<const trace::TraceAnalytics> trace;
 
     /** Clusters-idle cycles of this run, by IdleCause. */
     uint64_t idleCycles[5] = {};
@@ -169,6 +173,10 @@ class ImagineSystem
     /** The fault injector, or null when config().faults.enabled is off. */
     const FaultInjector *faultInjector() const { return inj_.get(); }
 
+    /** The trace sink, or null when config().trace is off. */
+    trace::TraceSink *traceSink() { return trace_.get(); }
+    const trace::TraceSink *traceSink() const { return trace_.get(); }
+
     // --- uniform metrics surface ----------------------------------------
     /** Every component of this session, in tick order. */
     const std::array<Component *, 5> &components() const
@@ -203,6 +211,8 @@ class ImagineSystem
     MachineConfig cfg_;
     KernelRegistry kernels_;
     std::unique_ptr<FaultInjector> inj_;    ///< null when faults off
+    std::unique_ptr<trace::TraceSink> trace_;   ///< null when trace off
+    uint32_t engineTrack_ = 0;              ///< folded-idle regions
     Srf srf_;
     MemorySystem mem_;
     ClusterArray clusters_;

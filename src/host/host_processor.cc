@@ -4,6 +4,7 @@
 
 #include "sim/log.hh"
 #include "sim/stats.hh"
+#include "trace/trace.hh"
 
 namespace imagine
 {
@@ -28,6 +29,14 @@ HostProcessor::HostProcessor(const MachineConfig &cfg,
                              StreamController &sc)
     : cfg_(cfg), sc_(sc)
 {
+}
+
+void
+HostProcessor::setTrace(trace::TraceSink *sink)
+{
+    trace_ = sink;
+    if (sink)
+        hostTrack_ = sink->addTrack(trace::HostComp, "issue");
 }
 
 void
@@ -70,6 +79,9 @@ HostProcessor::tick(Cycle now)
         ++stats_.instrsSent;
         sc_.retireHostSide(static_cast<uint32_t>(next_), si.kind);
         blockedUntil_ = now + cfg_.hostRoundTripCycles;
+        if (trace_)
+            trace_->span(hostTrack_, now, blockedUntil_, "roundtrip",
+                         next_);
         ++next_;
         return;
     }
@@ -85,6 +97,8 @@ HostProcessor::tick(Cycle now)
     sc_.enqueue(static_cast<uint32_t>(next_), &si);
     budget_ -= cost;
     ++stats_.instrsSent;
+    if (trace_)
+        trace_->instant(hostTrack_, streamOpKindName(si.kind), next_);
     ++next_;
 }
 

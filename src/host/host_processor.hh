@@ -26,6 +26,7 @@ namespace imagine
 {
 
 class StatsRegistry;
+namespace trace { class TraceSink; }
 
 /** Host-side statistics. */
 struct HostStats
@@ -75,6 +76,9 @@ class HostProcessor : public Component
 
     const HostStats &stats() const { return stats_; }
 
+    /** Attach the session trace sink (null by default: hooks dead). */
+    void setTrace(trace::TraceSink *sink);
+
   private:
     const MachineConfig &cfg_;
     StreamController &sc_;
@@ -83,6 +87,8 @@ class HostProcessor : public Component
     double budget_ = 0.0;       ///< accumulated interface capacity
     Cycle blockedUntil_ = 0;    ///< host-dependency round trip
     bool playback_ = true;
+    trace::TraceSink *trace_ = nullptr;
+    uint32_t hostTrack_ = 0;
     HostStats stats_;
 };
 

@@ -7,6 +7,7 @@
 #include "sim/fault.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
+#include "trace/trace.hh"
 
 namespace imagine
 {
@@ -51,6 +52,19 @@ StreamController::StreamController(const MachineConfig &cfg, Srf &srf,
 }
 
 void
+StreamController::setTrace(trace::TraceSink *sink)
+{
+    trace_ = sink;
+    if (!sink)
+        return;
+    slotTracks_.clear();
+    for (int i = 0; i < cfg_.scoreboardSlots; ++i)
+        slotTracks_.push_back(
+            sink->addTrack(trace::ScComp, strfmt("slot%d", i)));
+    slotTrackBusy_.assign(slotTracks_.size(), 0);
+}
+
+void
 StreamController::beginProgram(const StreamProgram &program)
 {
     IMAGINE_ASSERT(slots_.empty(), "beginProgram with busy scoreboard");
@@ -81,6 +95,21 @@ StreamController::enqueue(uint32_t idx, const StreamInstr *instr)
     Slot s;
     s.idx = idx;
     s.instr = instr;
+    if (trace_) {
+        // Lease a free track from the fixed scoreboard pool (one always
+        // exists: slots_ is bounded by the same cfg.scoreboardSlots).
+        for (size_t i = 0; i < slotTrackBusy_.size(); ++i) {
+            if (slotTrackBusy_[i])
+                continue;
+            slotTrackBusy_[i] = 1;
+            s.traceTrack = static_cast<int16_t>(i);
+            s.traceStage = depsSatisfied(s) ? "res" : "dep";
+            trace_->openSpan(slotTracks_[i], trace_->now(),
+                             s.traceStage, s.idx,
+                             static_cast<uint64_t>(instr->kind));
+            break;
+        }
+    }
     slots_.push_back(std::move(s));
 }
 
@@ -269,6 +298,14 @@ StreamController::complete(Slot &s)
     done_[s.idx] = 1;
     ++stats_.instrsRetired;
     ++stats_.kindCount[static_cast<int>(s.instr->kind)];
+    if (trace_ && s.traceTrack >= 0) {
+        uint32_t t = slotTracks_[static_cast<size_t>(s.traceTrack)];
+        trace_->closeSpan(t, trace_->now() + 1);
+        trace_->instant(t, "retire", s.idx,
+                        static_cast<uint64_t>(s.instr->kind));
+        slotTrackBusy_[static_cast<size_t>(s.traceTrack)] = 0;
+        s.traceTrack = -1;
+    }
     s.instr = nullptr;  // marks the slot for removal
 }
 
@@ -474,7 +511,40 @@ StreamController::tick(Cycle now)
         }
     }
 
+    if (trace_)
+        traceSlotStages();
     classifyIdle();
+}
+
+void
+StreamController::traceSlotStages()
+{
+    // Slot lifecycle state only moves inside ticks, so re-opening the
+    // stage span here (once per real tick) segments every slot's
+    // residency exactly: dep-blocked -> resource-blocked -> ucode ->
+    // issue -> run -> stuck.
+    for (Slot &s : slots_) {
+        if (!s.instr || s.traceTrack < 0)
+            continue;
+        const char *stage;
+        switch (s.state) {
+          case SlotState::Waiting:
+            stage = depsSatisfied(s) ? "res" : "dep";
+            break;
+          case SlotState::NeedUcode: stage = "ucode"; break;
+          case SlotState::Issuing: stage = "issue"; break;
+          case SlotState::Running: stage = "run"; break;
+          default: stage = "stuck"; break;
+        }
+        if (stage == s.traceStage)
+            continue;
+        uint32_t t = slotTracks_[static_cast<size_t>(s.traceTrack)];
+        Cycle c = trace_->now() + 1;
+        trace_->closeSpan(t, c);
+        trace_->openSpan(t, c, stage, s.idx,
+                         static_cast<uint64_t>(s.instr->kind));
+        s.traceStage = stage;
+    }
 }
 
 Cycle

@@ -32,6 +32,7 @@ namespace imagine
 class FaultInjector;
 struct HangReport;
 class StatsRegistry;
+namespace trace { class TraceSink; }
 
 /** Registered, compiled kernels addressable by stream instructions. */
 using KernelRegistry = std::vector<kernelc::CompiledKernel>;
@@ -115,6 +116,9 @@ class StreamController : public Component
 
     const ScStats &stats() const { return stats_; }
 
+    /** Attach the session trace sink (null by default: hooks dead). */
+    void setTrace(trace::TraceSink *sink);
+
   private:
     enum class SlotState : uint8_t
     {
@@ -138,6 +142,9 @@ class StreamController : public Component
         bool inPlace = false;
         // Kernel bookkeeping.
         std::vector<int> inClients, outClients;
+        // Tracing: leased scoreboard-slot track + current stage name.
+        int16_t traceTrack = -1;
+        const char *traceStage = nullptr;
     };
 
     bool depsSatisfied(const Slot &s) const;
@@ -189,6 +196,13 @@ class StreamController : public Component
     int ucodeRetries_ = 0;              ///< corrupted-load re-transfers
 
     IdleCause idleCause_ = IdleCause::Host;
+
+    /** Re-open a slot's stage span when its lifecycle state moved. */
+    void traceSlotStages();
+    trace::TraceSink *trace_ = nullptr;
+    std::vector<uint32_t> slotTracks_;      ///< fixed scoreboard pool
+    std::vector<uint8_t> slotTrackBusy_;
+
     ScStats stats_;
 };
 

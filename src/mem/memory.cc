@@ -6,6 +6,7 @@
 #include "sim/fault.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
+#include "trace/trace.hh"
 
 namespace imagine
 {
@@ -44,6 +45,22 @@ MemorySystem::peakWordsPerCycle() const
 }
 
 void
+MemorySystem::setTrace(trace::TraceSink *sink)
+{
+    trace_ = sink;
+    if (!sink)
+        return;
+    agTracks_.clear();
+    chanTracks_.clear();
+    for (size_t i = 0; i < ags_.size(); ++i)
+        agTracks_.push_back(
+            sink->addTrack(trace::MemComp, strfmt("ag%zu", i)));
+    for (size_t i = 0; i < channels_.size(); ++i)
+        chanTracks_.push_back(
+            sink->addTrack(trace::MemComp, strfmt("chan%zu", i)));
+}
+
+void
 MemorySystem::startLoad(int ag, const Mar &mar, const Sdr &dst,
                         const Sdr *idx)
 {
@@ -67,6 +84,9 @@ MemorySystem::startLoad(int ag, const Mar &mar, const Sdr &dst,
                        "stream length %u not a multiple of record size %u",
                        dst.length, mar.recordWords);
     }
+    if (trace_)
+        trace_->openSpan(agTracks_[static_cast<size_t>(ag)],
+                         trace_->now(), "load", st.length);
 }
 
 void
@@ -86,6 +106,9 @@ MemorySystem::startStore(int ag, const Mar &mar, const Sdr &src,
         st.indexed = true;
         st.idxClient = srf_.openIn(*idx);
     }
+    if (trace_)
+        trace_->openSpan(agTracks_[static_cast<size_t>(ag)],
+                         trace_->now(), "store", st.length);
 }
 
 void
@@ -102,6 +125,9 @@ MemorySystem::startSinkLoad(int ag, Addr baseWord, uint32_t words)
     st.mar.strideWords = 1;
     st.mar.recordWords = 1;
     st.length = words;
+    if (trace_)
+        trace_->openSpan(agTracks_[static_cast<size_t>(ag)],
+                         trace_->now(), "ucode", st.length);
 }
 
 bool
@@ -151,6 +177,9 @@ MemorySystem::finish(int ag)
 {
     AgState &st = ags_[ag];
     IMAGINE_ASSERT(agDone(ag), "finish on unfinished AG%d", ag);
+    if (trace_)
+        trace_->closeSpan(agTracks_[static_cast<size_t>(ag)],
+                          trace_->now());
     if (st.dataClient >= 0)
         srf_.close(st.dataClient);
     if (st.idxClient >= 0)
@@ -345,6 +374,14 @@ MemorySystem::tickChannels(uint64_t memCycle)
         ch.busNextFreeMem = doneMem;
         ++stats_.dramAccesses;
         stats_.channelBusyMemCycles += cost;
+        if (trace_) {
+            // One access = one busy region in core cycles; contiguous
+            // accesses coalesce (busNextFreeMem serializes the track).
+            size_t chIdx = static_cast<size_t>(&ch - channels_.data());
+            uint64_t div = static_cast<uint64_t>(cfg_.memClockDivider);
+            trace_->mergeSpan(chanTracks_[chIdx], start * div,
+                              doneMem * div, "busy", cost);
+        }
 
         AgState &st = ags_[req.ag];
         Cycle readyCore = doneMem * cfg_.memClockDivider +

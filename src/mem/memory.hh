@@ -40,6 +40,7 @@ namespace imagine
 class FaultInjector;
 struct HangReport;
 class StatsRegistry;
+namespace trace { class TraceSink; }
 
 /** Memory-system statistics. */
 struct MemStats
@@ -108,6 +109,9 @@ class MemorySystem : public Component
     const MemStats &stats() const { return stats_; }
     /** Peak words per core cycle the DRAM interface can move. */
     double peakWordsPerCycle() const;
+
+    /** Attach the session trace sink (null by default: hooks dead). */
+    void setTrace(trace::TraceSink *sink);
 
   private:
     struct Delivery
@@ -181,6 +185,8 @@ class MemorySystem : public Component
     std::vector<AgState> ags_;
     std::vector<Channel> channels_;
     std::vector<int64_t> cacheTags_;    ///< direct-mapped MC cache
+    trace::TraceSink *trace_ = nullptr;
+    std::vector<uint32_t> agTracks_, chanTracks_;
     MemStats stats_;
 };
 

@@ -199,6 +199,23 @@ struct MachineConfig
      * program's kernel count by default.
      */
     int clusterBindCacheKernels = 128;
+    /**
+     * Structured event tracing (DESIGN.md section 10): attach a
+     * trace::TraceSink recording per-FU busy spans, kernel phases,
+     * SRF grant bursts, memory-channel/AG activity, scoreboard-slot
+     * lifetimes and host issues, exportable as Perfetto trace_event
+     * JSON and distilled into RunResult::trace analytics.  Off (the
+     * default) every hook is a dead branch on a latched pointer and
+     * cycle counts / stats / toJson() are bit-identical
+     * (tests/trace_test.cc).
+     */
+    bool trace = false;
+    /**
+     * Per-component cap on buffered trace events; past it events are
+     * counted in the trace.dropped stat instead of growing without
+     * bound, so long traced runs degrade gracefully.
+     */
+    uint64_t traceMaxEvents = 1'000'000;
 
     // ------------------------------------------------------------------
     // Derived quantities

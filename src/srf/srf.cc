@@ -5,6 +5,7 @@
 #include "sim/fault.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
+#include "trace/trace.hh"
 
 namespace imagine
 {
@@ -324,6 +325,9 @@ Srf::tick()
         if (g == 0)
             continue;
         Client &c = clients_[grantIdx_[i]];
+        if (trace_)
+            trace_->touchSpan(clientTrack(grantIdx_[i]),
+                              c.isIn ? "fill" : "drain", g);
         if (c.isIn) {
             c.fetched += g;
         } else {
@@ -349,6 +353,16 @@ Srf::nextEventAfter(Cycle now) const
     // else that changes a client (produce/consume/open/close) is driven
     // by other components.
     return movableCount_ > 0 ? now + 1 : kForever;
+}
+
+uint32_t
+Srf::clientTrack(size_t idx)
+{
+    while (clientTracks_.size() <= idx)
+        clientTracks_.push_back(trace_->addTrack(
+            trace::SrfComp,
+            strfmt("client%zu", clientTracks_.size())));
+    return clientTracks_[idx];
 }
 
 void

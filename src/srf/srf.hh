@@ -35,6 +35,7 @@ namespace imagine
 
 class FaultInjector;
 class StatsRegistry;
+namespace trace { class TraceSink; }
 
 /** Aggregate SRF statistics. */
 struct SrfStats
@@ -145,6 +146,9 @@ class Srf : public Component
 
     const SrfStats &stats() const { return stats_; }
 
+    /** Attach the session trace sink (null by default: hooks dead). */
+    void setTrace(trace::TraceSink *sink) { trace_ = sink; }
+
   private:
     struct Client
     {
@@ -183,6 +187,10 @@ class Srf : public Component
     size_t rrNext_ = 0;             ///< round-robin arbitration cursor
     /** Per-tick arbiter scratch (movable clients, caps, grants). */
     std::vector<uint32_t> grantIdx_, grantCap_, grantCnt_;
+    /** Trace track for client slot @p idx (created on first grant). */
+    uint32_t clientTrack(size_t idx);
+    trace::TraceSink *trace_ = nullptr;
+    std::vector<uint32_t> clientTracks_;
     SrfStats stats_;
 };
 

@@ -1,0 +1,490 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "isa/stream.hh"
+#include "sim/log.hh"
+#include "sim/stats.hh"
+
+namespace imagine::trace
+{
+
+namespace
+{
+
+const char *
+componentLabel(uint8_t comp)
+{
+    switch (comp) {
+      case Cluster: return "cluster";
+      case SrfComp: return "srf";
+      case MemComp: return "mem";
+      case ScComp: return "sc";
+      case HostComp: return "host";
+      case Engine: return "engine";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+TraceSink::TraceSink(uint64_t maxEventsPerComponent)
+    : cap_(maxEventsPerComponent)
+{
+}
+
+uint32_t
+TraceSink::addTrack(ComponentId comp, std::string name)
+{
+    Track t;
+    t.name = std::move(name);
+    t.comp = static_cast<uint8_t>(comp);
+    tracks_.push_back(std::move(t));
+    return static_cast<uint32_t>(tracks_.size() - 1);
+}
+
+const char *
+TraceSink::intern(const std::string &s)
+{
+    for (const auto &p : interned_)
+        if (*p == s)
+            return p->c_str();
+    interned_.push_back(std::make_unique<std::string>(s));
+    return interned_.back()->c_str();
+}
+
+void
+TraceSink::emit(uint8_t comp, const Event &e)
+{
+    std::vector<Event> &buf = buf_[comp];
+    if (buf.size() >= cap_) {
+        ++dropped_[comp];
+        return;
+    }
+    buf.push_back(e);
+    ++events_[comp];
+}
+
+void
+TraceSink::flushTrack(uint32_t track)
+{
+    Track &t = tracks_[track];
+    if (!t.open)
+        return;
+    Event e;
+    e.ts = t.begin;
+    e.dur = t.end - t.begin;
+    e.track = track;
+    e.name = t.spanName;
+    e.a = t.a;
+    e.b = t.b;
+    e.span = true;
+    emit(t.comp, e);
+    t.open = false;
+}
+
+void
+TraceSink::instant(uint32_t track, const char *name, uint64_t a,
+                   uint64_t b)
+{
+    Event e;
+    e.ts = now_;
+    e.track = track;
+    e.name = name;
+    e.a = a;
+    e.b = b;
+    emit(tracks_[track].comp, e);
+}
+
+void
+TraceSink::span(uint32_t track, Cycle begin, Cycle end, const char *name,
+                uint64_t a, uint64_t b)
+{
+    Event e;
+    e.ts = begin;
+    e.dur = end > begin ? end - begin : 0;
+    e.track = track;
+    e.name = name;
+    e.a = a;
+    e.b = b;
+    e.span = true;
+    emit(tracks_[track].comp, e);
+}
+
+void
+TraceSink::openSpan(uint32_t track, Cycle begin, const char *name,
+                    uint64_t a, uint64_t b)
+{
+    flushTrack(track);
+    Track &t = tracks_[track];
+    t.open = true;
+    t.spanName = name;
+    t.begin = begin;
+    t.end = begin;
+    t.a = a;
+    t.b = b;
+}
+
+void
+TraceSink::closeSpan(uint32_t track, Cycle end)
+{
+    Track &t = tracks_[track];
+    if (!t.open)
+        return;
+    t.end = std::max(t.end, end);
+    flushTrack(track);
+}
+
+void
+TraceSink::closeSpanArgs(uint32_t track, Cycle end, uint64_t a,
+                         uint64_t b)
+{
+    Track &t = tracks_[track];
+    if (!t.open)
+        return;
+    t.a = a;
+    t.b = b;
+    t.end = std::max(t.end, end);
+    flushTrack(track);
+}
+
+void
+TraceSink::mergeSpan(uint32_t track, Cycle begin, Cycle end,
+                     const char *name, uint64_t da, uint64_t db)
+{
+    Track &t = tracks_[track];
+    if (t.open && t.spanName == name && begin <= t.end) {
+        t.end = std::max(t.end, end);
+        t.a += da;
+        t.b += db;
+        return;
+    }
+    flushTrack(track);
+    t.open = true;
+    t.spanName = name;
+    t.begin = begin;
+    t.end = end;
+    t.a = da;
+    t.b = db;
+}
+
+void
+TraceSink::flushOpen(Cycle end)
+{
+    for (uint32_t i = 0; i < tracks_.size(); ++i) {
+        Track &t = tracks_[i];
+        if (!t.open)
+            continue;
+        t.end = std::max(t.end, end);
+        flushTrack(i);
+    }
+}
+
+uint64_t
+TraceSink::eventCount() const
+{
+    uint64_t n = 0;
+    for (uint64_t c : events_)
+        n += c;
+    return n;
+}
+
+uint64_t
+TraceSink::droppedCount() const
+{
+    uint64_t n = 0;
+    for (uint64_t c : dropped_)
+        n += c;
+    return n;
+}
+
+size_t
+TraceSink::openCount() const
+{
+    size_t n = 0;
+    for (const Track &t : tracks_)
+        n += t.open ? 1 : 0;
+    return n;
+}
+
+void
+TraceSink::registerStats(StatsRegistry &reg)
+{
+    std::vector<std::string> comps;
+    for (int i = 0; i < NumTraceComponents; ++i)
+        comps.push_back(componentLabel(static_cast<uint8_t>(i)));
+    reg.vector("trace.events", events_, comps);
+    reg.vector("trace.dropped", dropped_, comps);
+}
+
+// --- Perfetto export ----------------------------------------------------
+
+std::string
+toPerfettoJson(const TraceSink &sink)
+{
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    auto add = [&](const std::string &s) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += s;
+    };
+    // Metadata: one process per component, one thread per track.  The
+    // cycle timestamp is emitted as-is in the "ts" (microsecond) field,
+    // so one Perfetto microsecond == one core cycle.
+    for (int c = 0; c < NumTraceComponents; ++c)
+        add(strfmt("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                   "\"args\":{\"name\":\"%s\"}}",
+                   c + 1, componentLabel(static_cast<uint8_t>(c))));
+    const std::vector<Track> &tracks = sink.tracks();
+    for (size_t t = 0; t < tracks.size(); ++t)
+        add(strfmt("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                   "\"tid\":%zu,\"args\":{\"name\":\"%s\"}}",
+                   tracks[t].comp + 1, t + 1, tracks[t].name.c_str()));
+    for (int c = 0; c < NumTraceComponents; ++c) {
+        for (const Event &e :
+             sink.events(static_cast<ComponentId>(c))) {
+            const Track &t = tracks[e.track];
+            if (e.span) {
+                add(strfmt(
+                    "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,"
+                    "\"tid\":%u,\"ts\":%llu,\"dur\":%llu,"
+                    "\"args\":{\"a\":%llu,\"b\":%llu}}",
+                    e.name, t.comp + 1, e.track + 1,
+                    static_cast<unsigned long long>(e.ts),
+                    static_cast<unsigned long long>(e.dur),
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b)));
+            } else {
+                add(strfmt(
+                    "{\"name\":\"%s\",\"ph\":\"i\",\"pid\":%d,"
+                    "\"tid\":%u,\"ts\":%llu,\"s\":\"t\","
+                    "\"args\":{\"a\":%llu,\"b\":%llu}}",
+                    e.name, t.comp + 1, e.track + 1,
+                    static_cast<unsigned long long>(e.ts),
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b)));
+            }
+        }
+    }
+    out += "],\"displayTimeUnit\":\"ns\"}";
+    return out;
+}
+
+bool
+writePerfetto(const TraceSink &sink, const char *path)
+{
+    FILE *f = std::fopen(path, "w");
+    if (!f)
+        return false;
+    std::string json = toPerfettoJson(sink);
+    bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    ok = std::fputc('\n', f) != EOF && ok;
+    return std::fclose(f) == 0 && ok;
+}
+
+// --- derived analytics --------------------------------------------------
+
+namespace
+{
+
+/** Overlap of [ts, ts+dur) with [from, to), in cycles. */
+uint64_t
+clip(Cycle ts, Cycle dur, Cycle from, Cycle to)
+{
+    Cycle b = std::max(ts, from);
+    Cycle e = std::min(ts + dur, to);
+    return e > b ? e - b : 0;
+}
+
+/** Prorate @p words across bandwidth windows by span overlap. */
+void
+prorate(double *windows, Cycle from, Cycle to, Cycle ts, Cycle dur,
+        uint64_t words)
+{
+    if (to <= from || dur == 0 || words == 0)
+        return;
+    double perCycle = static_cast<double>(words) / dur;
+    double winLen = static_cast<double>(to - from) /
+                    TraceAnalytics::numBwWindows;
+    if (winLen <= 0.0)
+        return;
+    for (size_t w = 0; w < TraceAnalytics::numBwWindows; ++w) {
+        Cycle wb = from + static_cast<Cycle>(w * winLen);
+        Cycle we = from + static_cast<Cycle>((w + 1) * winLen);
+        uint64_t ov = clip(ts, dur, wb, std::max(we, wb + 1));
+        if (ov)
+            windows[w] += perCycle * ov / std::max(winLen, 1.0);
+    }
+}
+
+bool
+isBusyPhase(const char *name)
+{
+    return std::strcmp(name, "startup") == 0 ||
+           std::strcmp(name, "prologue") == 0 ||
+           std::strcmp(name, "loop") == 0 ||
+           std::strcmp(name, "epilogue") == 0 ||
+           std::strcmp(name, "shutdown") == 0;
+}
+
+} // namespace
+
+std::shared_ptr<const TraceAnalytics>
+analyze(const TraceSink &sink, Cycle from, Cycle to)
+{
+    auto out = std::make_shared<TraceAnalytics>();
+    TraceAnalytics &a = *out;
+    a.from = from;
+    a.to = to;
+    a.events = sink.eventCount();
+    a.dropped = sink.droppedCount();
+    const std::vector<Track> &tracks = sink.tracks();
+
+    // Cluster: phase coverage, kernel-span op deltas, per-FU busy.
+    for (const Event &e : sink.events(Cluster)) {
+        if (e.ts + e.dur <= from || e.ts >= to)
+            continue;
+        const Track &t = tracks[e.track];
+        if (t.name == "phase") {
+            if (e.span && isBusyPhase(e.name))
+                a.clusterBusyCycles += clip(e.ts, e.dur, from, to);
+        } else if (t.name == "kernel") {
+            if (e.span) {
+                ++a.kernelLaunches;
+                a.clusterArithOps += e.a;
+                a.clusterFpOps += e.b;
+            }
+        } else if (e.span && std::strcmp(e.name, "busy") == 0) {
+            TraceAnalytics::FuOcc &fu = a.fuOcc[t.name];
+            fu.busy += e.a;
+            fu.span += e.dur;
+            if (e.dur) {
+                double occ = static_cast<double>(e.a) / e.dur;
+                size_t bucket = std::min<size_t>(
+                    static_cast<size_t>(occ * 10.0), 9);
+                ++fu.hist[bucket];
+            }
+        }
+    }
+
+    // SRF: grant-burst words + bandwidth series.
+    for (const Event &e : sink.events(SrfComp)) {
+        if (!e.span || e.ts + e.dur <= from || e.ts >= to)
+            continue;
+        a.srfWords += e.a;
+        prorate(a.srfWordsPerCycle, from, to, e.ts, e.dur, e.a);
+    }
+
+    // Memory: AG stream-op words + bandwidth series (channel spans are
+    // timing detail; the word totals ride on the AG spans).
+    for (const Event &e : sink.events(MemComp)) {
+        if (!e.span || e.ts + e.dur <= from || e.ts >= to)
+            continue;
+        const Track &t = tracks[e.track];
+        if (t.name.compare(0, 2, "ag") != 0)
+            continue;
+        a.memWords += e.a;
+        prorate(a.memWordsPerCycle, from, to, e.ts, e.dur, e.a);
+    }
+
+    // Host: every send is one instant (or one round-trip span).
+    for (const Event &e : sink.events(HostComp)) {
+        if (e.ts < from || e.ts >= to)
+            continue;
+        ++a.hostInstrs;
+    }
+
+    // Stream controller: slot-stage spans keyed by op kind (payload b).
+    for (const Event &e : sink.events(ScComp)) {
+        if (!e.span || e.ts + e.dur <= from || e.ts >= to)
+            continue;
+        uint64_t d = clip(e.ts, e.dur, from, to);
+        if (!d)
+            continue;
+        const char *kind =
+            e.b < static_cast<uint64_t>(StreamOpKind::NumKinds)
+                ? streamOpKindName(static_cast<StreamOpKind>(e.b))
+                : "unknown";
+        TraceAnalytics::StallSplit &s = a.stall[kind];
+        if (std::strcmp(e.name, "dep") == 0)
+            s.depBlocked += d;
+        else if (std::strcmp(e.name, "res") == 0 ||
+                 std::strcmp(e.name, "ucode") == 0 ||
+                 std::strcmp(e.name, "stuck") == 0)
+            s.resBlocked += d;
+        else if (std::strcmp(e.name, "issue") == 0)
+            s.issuing += d;
+        else if (std::strcmp(e.name, "run") == 0)
+            s.executing += d;
+    }
+
+    return out;
+}
+
+std::string
+TraceAnalytics::toJson() const
+{
+    auto u64 = [](uint64_t v) {
+        return strfmt("%llu", static_cast<unsigned long long>(v));
+    };
+    std::string out = "{";
+    out += "\"from\":" + u64(from);
+    out += ",\"to\":" + u64(to);
+    out += ",\"events\":" + u64(events);
+    out += ",\"dropped\":" + u64(dropped);
+    out += ",\"kernelLaunches\":" + u64(kernelLaunches);
+    out += ",\"clusterBusyCycles\":" + u64(clusterBusyCycles);
+    out += ",\"clusterArithOps\":" + u64(clusterArithOps);
+    out += ",\"clusterFpOps\":" + u64(clusterFpOps);
+    out += ",\"srfWords\":" + u64(srfWords);
+    out += ",\"memWords\":" + u64(memWords);
+    out += ",\"hostInstrs\":" + u64(hostInstrs);
+    out += ",\"fuOccupancy\":{";
+    bool first = true;
+    for (const auto &[name, fu] : fuOcc) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += strfmt("\"%s\":{\"busy\":%llu,\"span\":%llu,"
+                      "\"occupancy\":%.17g,\"hist\":[",
+                      name.c_str(),
+                      static_cast<unsigned long long>(fu.busy),
+                      static_cast<unsigned long long>(fu.span),
+                      fu.occupancy());
+        for (int i = 0; i < 10; ++i)
+            out += strfmt("%s%llu", i ? "," : "",
+                          static_cast<unsigned long long>(fu.hist[i]));
+        out += "]}";
+    }
+    out += "}";
+    auto series = [&](const char *key, const double *w) {
+        out += strfmt(",\"%s\":[", key);
+        for (size_t i = 0; i < numBwWindows; ++i)
+            out += strfmt("%s%.17g", i ? "," : "", w[i]);
+        out += "]";
+    };
+    series("srfWordsPerCycle", srfWordsPerCycle);
+    series("memWordsPerCycle", memWordsPerCycle);
+    out += ",\"stall\":{";
+    first = true;
+    for (const auto &[kind, s] : stall) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += strfmt("\"%s\":{\"depBlocked\":%llu,\"resBlocked\":%llu,"
+                      "\"issuing\":%llu,\"executing\":%llu}",
+                      kind.c_str(),
+                      static_cast<unsigned long long>(s.depBlocked),
+                      static_cast<unsigned long long>(s.resBlocked),
+                      static_cast<unsigned long long>(s.issuing),
+                      static_cast<unsigned long long>(s.executing));
+    }
+    out += "}}";
+    return out;
+}
+
+} // namespace imagine::trace

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Cycle-accurate structured event tracing (DESIGN.md section 10).
+ *
+ * A TraceSink collects typed spans and instants from every component of
+ * one session: per-FU busy spans, kernel phase segments and VLIW issue
+ * buckets from the cluster array, arbitration-grant bursts from the
+ * SRF, channel activity and AG address streams from the memory system,
+ * scoreboard-slot lifetimes from the stream controller, and host
+ * issue/round-trips.  Every event carries a cycle timestamp, the owning
+ * component, a track id, and two small payload words.
+ *
+ * The sink is attached only when MachineConfig::trace is set; every
+ * component hook is a dead branch on a latched pointer otherwise, and
+ * all hooks read simulated state without mutating it, so cycle counts
+ * and statistics are bit-identical with tracing on or off.
+ *
+ * Three consumers sit on top:
+ *  - writePerfetto(): Chrome trace_event JSON, one track per cluster
+ *    FU / SRF client / memory channel / scoreboard slot, loadable in
+ *    ui.perfetto.dev;
+ *  - analyze(): derived analytics (per-FU occupancy histograms, SRF and
+ *    DRAM bandwidth timeseries, per-stream-op stall attribution),
+ *    attached to RunResult and serialized by RunResult::toJson();
+ *  - the tests, which walk the raw buffers directly.
+ *
+ * Buffers are capped per component (MachineConfig::traceMaxEvents);
+ * past the cap events are counted as dropped instead of growing without
+ * bound, so long traced runs degrade gracefully.
+ */
+
+#ifndef IMAGINE_TRACE_TRACE_HH
+#define IMAGINE_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace imagine
+{
+
+class StatsRegistry;
+
+namespace trace
+{
+
+/** Component owning a track (also the Perfetto process id - 1). */
+enum ComponentId : uint8_t
+{
+    Cluster,
+    SrfComp,
+    MemComp,
+    ScComp,
+    HostComp,
+    Engine,
+    NumTraceComponents
+};
+
+/** One recorded event: a complete span (span == true) or an instant. */
+struct Event
+{
+    Cycle ts = 0;           ///< begin cycle
+    Cycle dur = 0;          ///< span length in cycles (0 for instants)
+    uint32_t track = 0;     ///< global track index
+    const char *name = nullptr;
+    uint64_t a = 0;         ///< payload (words moved, op count, ...)
+    uint64_t b = 0;
+    bool span = false;
+};
+
+/** A named timeline owned by one component. */
+struct Track
+{
+    std::string name;
+    uint8_t comp = 0;
+    // Open (possibly still-coalescing) span, emitted on close/flush.
+    bool open = false;
+    const char *spanName = nullptr;
+    Cycle begin = 0;
+    Cycle end = 0;
+    uint64_t a = 0;
+    uint64_t b = 0;
+};
+
+/** Derived analytics over one run's window of the trace. */
+struct TraceAnalytics
+{
+    Cycle from = 0;
+    Cycle to = 0;
+    uint64_t events = 0;        ///< events recorded sink-wide
+    uint64_t dropped = 0;       ///< events lost to the buffer cap
+
+    /** Per-FU occupancy: busy cycles, covered span, decile histogram
+     *  of per-launch occupancy fractions. */
+    struct FuOcc
+    {
+        uint64_t busy = 0;
+        uint64_t span = 0;
+        uint64_t hist[10] = {};
+        double occupancy() const
+        {
+            return span ? static_cast<double>(busy) / span : 0.0;
+        }
+    };
+    std::map<std::string, FuOcc> fuOcc;
+
+    // Trace-derived totals (the counter cross-check surface).
+    uint64_t clusterBusyCycles = 0; ///< busy-phase span cycles
+    uint64_t kernelLaunches = 0;
+    uint64_t clusterArithOps = 0;   ///< sum of kernel-span arith deltas
+    uint64_t clusterFpOps = 0;
+    uint64_t srfWords = 0;          ///< sum of SRF grant-burst words
+    uint64_t memWords = 0;          ///< sum of AG stream-op words
+    uint64_t hostInstrs = 0;
+
+    /** Bandwidth timeseries: words prorated into equal windows. */
+    static constexpr size_t numBwWindows = 64;
+    double srfWordsPerCycle[numBwWindows] = {};
+    double memWordsPerCycle[numBwWindows] = {};
+
+    /** Per-stream-op-kind stall attribution, in slot-resident cycles. */
+    struct StallSplit
+    {
+        uint64_t depBlocked = 0;    ///< waiting on a dependency
+        uint64_t resBlocked = 0;    ///< deps met, resource busy (+ucode)
+        uint64_t issuing = 0;       ///< in the issue pipeline
+        uint64_t executing = 0;     ///< running on its resource
+    };
+    std::map<std::string, StallSplit> stall;
+
+    /** JSON object (appended to RunResult::toJson under "trace"). */
+    std::string toJson() const;
+};
+
+/** The per-session trace collector. */
+class TraceSink
+{
+  public:
+    /** @param maxEventsPerComponent buffer cap per component */
+    explicit TraceSink(uint64_t maxEventsPerComponent);
+
+    /** Create a track; returns its global index. */
+    uint32_t addTrack(ComponentId comp, std::string name);
+
+    /** Intern a transient string (kernel names) for event payloads. */
+    const char *intern(const std::string &s);
+
+    /** Current cycle, set once per engine loop iteration. */
+    void setNow(Cycle now) { now_ = now; }
+    Cycle now() const { return now_; }
+
+    void instant(uint32_t track, const char *name, uint64_t a = 0,
+                 uint64_t b = 0);
+    /** Record a complete span directly. */
+    void span(uint32_t track, Cycle begin, Cycle end, const char *name,
+              uint64_t a = 0, uint64_t b = 0);
+    /** Open a span on @p track (flushes any span still open there). */
+    void openSpan(uint32_t track, Cycle begin, const char *name,
+                  uint64_t a = 0, uint64_t b = 0);
+    void closeSpan(uint32_t track, Cycle end);
+    /** Close with final payload values (AG word totals, op deltas). */
+    void closeSpanArgs(uint32_t track, Cycle end, uint64_t a,
+                       uint64_t b);
+    /**
+     * Coalescing record: extend the open span when it carries the same
+     * name and touches @p begin, otherwise flush it and open anew.
+     * Payloads accumulate.  This is what keeps per-cycle hooks (issue
+     * buckets, grant bursts, channel activity) from writing one event
+     * per cycle.
+     */
+    void mergeSpan(uint32_t track, Cycle begin, Cycle end,
+                   const char *name, uint64_t da = 0, uint64_t db = 0);
+    /** mergeSpan for the single current cycle. */
+    void touchSpan(uint32_t track, const char *name, uint64_t da = 1)
+    {
+        mergeSpan(track, now_, now_ + 1, name, da);
+    }
+    /** Close every open span at @p end (end of run). */
+    void flushOpen(Cycle end);
+
+    // --- consumers ------------------------------------------------------
+    const std::vector<Track> &tracks() const { return tracks_; }
+    const std::vector<Event> &events(ComponentId comp) const
+    {
+        return buf_[comp];
+    }
+    uint64_t eventCount() const;
+    uint64_t droppedCount() const;
+    /** Spans still open (0 after flushOpen). */
+    size_t openCount() const;
+
+    /** Expose trace.events / trace.dropped on the session registry. */
+    void registerStats(StatsRegistry &reg);
+
+  private:
+    void emit(uint8_t comp, const Event &e);
+    void flushTrack(uint32_t track);
+
+    uint64_t cap_;
+    Cycle now_ = 0;
+    std::vector<Track> tracks_;
+    std::vector<Event> buf_[NumTraceComponents];
+    uint64_t events_[NumTraceComponents] = {};
+    uint64_t dropped_[NumTraceComponents] = {};
+    std::vector<std::unique_ptr<std::string>> interned_;
+};
+
+/** Chrome/Perfetto trace_event JSON for the whole sink. */
+std::string toPerfettoJson(const TraceSink &sink);
+/** Write toPerfettoJson to @p path; false on I/O error. */
+bool writePerfetto(const TraceSink &sink, const char *path);
+
+/** Derive analytics over the window [@p from, @p to). */
+std::shared_ptr<const TraceAnalytics>
+analyze(const TraceSink &sink, Cycle from, Cycle to);
+
+} // namespace trace
+} // namespace imagine
+
+#endif // IMAGINE_TRACE_TRACE_HH
