@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Command-line flags shared by every example binary:
+ *
+ *   --json                  print the RunResult JSON instead of the report
+ *   --no-skip               disable the event-horizon fast-forward
+ *   --trace=FILE            cycle tracing + Perfetto trace_event output
+ *   --seed=N                application input seed (and fault seed)
+ *   --faults=MODE           fault injection: off|secded|parity|none
+ *                           (ECC mode; rates match tests/chaos_test.cc)
+ *   --checkpoint=FILE       snapshot target; alone it only arms crash
+ *                           snapshots (FILE.crash on SimError)
+ *   --checkpoint-every=N    also snapshot FILE every N cycles
+ *   --restore=FILE          resume from a snapshot written by a run of
+ *                           this example with the same flags
+ *
+ * Each example keeps its own positional arguments; this header only
+ * owns the machine-level flags so all four apps expose the same knobs.
+ */
+
+#ifndef IMAGINE_EXAMPLES_EXAMPLE_FLAGS_HH
+#define IMAGINE_EXAMPLES_EXAMPLE_FLAGS_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/config.hh"
+
+namespace imagine::examples
+{
+
+struct ExampleFlags
+{
+    bool json = false;
+    const char *tracePath = nullptr;
+    uint64_t seed = 0;
+    bool seedSet = false;
+};
+
+/**
+ * Consume @p arg if it is one of the shared flags, applying it to
+ * @p mc / @p fl.  Returns false for app-specific arguments the caller
+ * should parse itself.  Exits with a diagnostic on a malformed value.
+ */
+inline bool
+parseExampleFlag(const char *arg, MachineConfig &mc, ExampleFlags &fl)
+{
+    auto val = [&](const char *key) -> const char * {
+        size_t n = std::strlen(key);
+        return std::strncmp(arg, key, n) == 0 ? arg + n : nullptr;
+    };
+    if (std::strcmp(arg, "--json") == 0) {
+        fl.json = true;
+        return true;
+    }
+    if (std::strcmp(arg, "--no-skip") == 0) {
+        mc.eventDriven = false;
+        return true;
+    }
+    if (const char *v = val("--trace=")) {
+        fl.tracePath = v;
+        mc.trace = true;
+        return true;
+    }
+    if (const char *v = val("--seed=")) {
+        fl.seed = std::strtoull(v, nullptr, 0);
+        fl.seedSet = true;
+        mc.faults.seed = fl.seed;
+        return true;
+    }
+    if (const char *v = val("--faults=")) {
+        if (std::strcmp(v, "off") == 0) {
+            mc.faults.enabled = false;
+            return true;
+        }
+        mc.faults.enabled = true;
+        mc.faults.srfFlipRate = 1e-4;
+        mc.faults.dramFlipRate = 1e-4;
+        mc.faults.ucodeCorruptRate = 0.05;
+        mc.faults.stuckSlotRate = 1e-3;
+        mc.faults.agStallRate = 1e-3;
+        mc.faults.agStallBurstCycles = 32;
+        mc.faults.maxRetries = 3;
+        EccMode ecc;
+        if (std::strcmp(v, "secded") == 0)
+            ecc = EccMode::Secded;
+        else if (std::strcmp(v, "parity") == 0)
+            ecc = EccMode::Parity;
+        else if (std::strcmp(v, "none") == 0)
+            ecc = EccMode::None;
+        else {
+            std::fprintf(stderr,
+                         "--faults=%s: expected off|secded|parity|none\n",
+                         v);
+            std::exit(2);
+        }
+        mc.faults.srfEcc = ecc;
+        mc.faults.memEcc = ecc;
+        return true;
+    }
+    if (const char *v = val("--checkpoint=")) {
+        mc.checkpointPath = v;
+        return true;
+    }
+    if (const char *v = val("--checkpoint-every=")) {
+        mc.checkpointEveryCycles = std::strtoull(v, nullptr, 0);
+        return true;
+    }
+    if (const char *v = val("--restore=")) {
+        mc.restorePath = v;
+        return true;
+    }
+    return false;
+}
+
+} // namespace imagine::examples
+
+#endif // IMAGINE_EXAMPLES_EXAMPLE_FLAGS_HH

@@ -5,18 +5,19 @@
  * numerically, and reports the machine-level metrics the paper
  * highlights for QRD (GFLOPS, IPC, power).
  *
- *   ./examples/matrix_qr [--json] [--no-skip] [--trace=FILE] [rows cols]
+ *   ./examples/matrix_qr [flags] [rows cols]
  *
  * With --json, prints the RunResult as JSON (schema in README.md)
- * instead of the human-readable report.
+ * instead of the human-readable report.  Machine-level flags (--seed,
+ * --faults, --checkpoint, --restore, ...) in example_flags.hh.
  */
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
 #include "apps/apps.hh"
+#include "example_flags.hh"
 
 using namespace imagine;
 using namespace imagine::apps;
@@ -24,19 +25,11 @@ using namespace imagine::apps;
 int
 main(int argc, char **argv)
 try {
-    bool json = false;
-    const char *tracePath = nullptr;
+    examples::ExampleFlags fl;
     MachineConfig mc = MachineConfig::devBoard();
     int rows = 0, cols = 0, npos = 0;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0)
-            json = true;
-        else if (std::strcmp(argv[i], "--no-skip") == 0)
-            mc.eventDriven = false;
-        else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-            tracePath = argv[i] + 8;
-            mc.trace = true;
-        } else
+        if (!examples::parseExampleFlag(argv[i], mc, fl))
             (npos++ ? cols : rows) = std::atoi(argv[i]);
     }
     QrdConfig cfg;
@@ -44,6 +37,10 @@ try {
         cfg.rows = rows;
         cfg.cols = cols;
     }
+    if (fl.seedSet)
+        cfg.seed = fl.seed;
+    bool json = fl.json;
+    const char *tracePath = fl.tracePath;
     ImagineSystem sys(mc);
     AppResult r = runQrd(sys, cfg);
     if (tracePath &&

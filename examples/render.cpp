@@ -5,16 +5,17 @@
  * as ASCII art, plus the host-dependency statistics that make RTSL the
  * paper's overhead case study.
  *
- *   ./examples/render [--json] [--no-skip] [--trace=FILE]
+ *   ./examples/render [flags]
  *
  * With --json, prints the RunResult as JSON (schema in README.md)
- * instead of the human-readable report.
+ * instead of the human-readable report.  Machine-level flags (--seed,
+ * --faults, --checkpoint, --restore, ...) in example_flags.hh.
  */
 
 #include <cstdio>
-#include <cstring>
 
 #include "apps/apps.hh"
+#include "example_flags.hh"
 
 using namespace imagine;
 using namespace imagine::apps;
@@ -22,24 +23,19 @@ using namespace imagine::apps;
 int
 main(int argc, char **argv)
 try {
-    bool json = false;
-    const char *tracePath = nullptr;
+    examples::ExampleFlags fl;
     MachineConfig mc = MachineConfig::devBoard();
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0)
-            json = true;
-        else if (std::strcmp(argv[i], "--no-skip") == 0)
-            mc.eventDriven = false;
-        else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-            tracePath = argv[i] + 8;
-            mc.trace = true;
-        }
-    }
+    for (int i = 1; i < argc; ++i)
+        examples::parseExampleFlag(argv[i], mc, fl);
+    bool json = fl.json;
+    const char *tracePath = fl.tracePath;
     ImagineSystem sys(mc);
     RtslConfig cfg;
     cfg.screen = 96;
     cfg.triangles = 1536;
     cfg.batch = 192;
+    if (fl.seedSet)
+        cfg.seed = fl.seed;
     AppResult r = runRtsl(sys, cfg);
     if (tracePath &&
         !trace::writePerfetto(*sys.traceSink(), tracePath))

@@ -4,19 +4,21 @@
  * section 2.1): runs the full DEPTH pipeline on a synthetic stereo
  * pair and renders the recovered disparity map as ASCII art.
  *
- *   ./examples/stereo_depth [--json] [--no-skip] [--trace=FILE]
+ *   ./examples/stereo_depth [flags]
  *
  * With --json, prints the RunResult as JSON (schema in README.md)
  * instead of the human-readable report.  --no-skip disables the
  * event-horizon fast-forward (the A/B axis for bit-identity checks;
  * the JSON must not change).  --trace=FILE enables cycle tracing and
  * writes a Chrome/Perfetto trace_event file (open in ui.perfetto.dev).
+ * Remaining machine-level flags (--seed, --faults, --checkpoint,
+ * --restore, ...) in example_flags.hh.
  */
 
 #include <cstdio>
-#include <cstring>
 
 #include "apps/apps.hh"
+#include "example_flags.hh"
 
 using namespace imagine;
 using namespace imagine::apps;
@@ -24,24 +26,19 @@ using namespace imagine::apps;
 int
 main(int argc, char **argv)
 try {
-    bool json = false;
-    const char *tracePath = nullptr;
+    examples::ExampleFlags fl;
     MachineConfig mc = MachineConfig::devBoard();
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0)
-            json = true;
-        else if (std::strcmp(argv[i], "--no-skip") == 0)
-            mc.eventDriven = false;
-        else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-            tracePath = argv[i] + 8;
-            mc.trace = true;
-        }
-    }
+    for (int i = 1; i < argc; ++i)
+        examples::parseExampleFlag(argv[i], mc, fl);
+    bool json = fl.json;
+    const char *tracePath = fl.tracePath;
     ImagineSystem sys(mc);
     DepthConfig cfg;
     cfg.width = 512;
     cfg.height = 46;    // 32 valid output rows
     cfg.disparities = 8;
+    if (fl.seedSet)
+        cfg.seed = fl.seed;
     AppResult r = runDepth(sys, cfg);
     if (tracePath &&
         !trace::writePerfetto(*sys.traceSink(), tracePath))

@@ -4,17 +4,18 @@
  * (intra frame + motion-predicted frames) and reports compression
  * statistics alongside the machine metrics.
  *
- *   ./examples/video_encode [--json] [--no-skip] [--trace=FILE] [frames]
+ *   ./examples/video_encode [flags] [frames]
  *
  * With --json, prints the RunResult as JSON (schema in README.md)
- * instead of the human-readable report.
+ * instead of the human-readable report.  Machine-level flags (--seed,
+ * --faults, --checkpoint, --restore, ...) in example_flags.hh.
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
 #include "apps/apps.hh"
+#include "example_flags.hh"
 
 using namespace imagine;
 using namespace imagine::apps;
@@ -22,21 +23,17 @@ using namespace imagine::apps;
 int
 main(int argc, char **argv)
 try {
-    bool json = false;
-    const char *tracePath = nullptr;
+    examples::ExampleFlags fl;
     MachineConfig mc = MachineConfig::devBoard();
     MpegConfig cfg;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0)
-            json = true;
-        else if (std::strcmp(argv[i], "--no-skip") == 0)
-            mc.eventDriven = false;
-        else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-            tracePath = argv[i] + 8;
-            mc.trace = true;
-        } else
+        if (!examples::parseExampleFlag(argv[i], mc, fl))
             cfg.frames = std::atoi(argv[i]);
     }
+    if (fl.seedSet)
+        cfg.seed = fl.seed;
+    bool json = fl.json;
+    const char *tracePath = fl.tracePath;
     ImagineSystem sys(mc);
     AppResult r = runMpeg(sys, cfg);
     if (tracePath &&

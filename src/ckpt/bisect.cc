@@ -1,0 +1,83 @@
+#include "ckpt/bisect.hh"
+
+#include <algorithm>
+
+#include "ckpt/serializer.hh"
+
+namespace imagine::ckpt
+{
+
+bool
+architecturalSection(const std::string &name)
+{
+    return name == "host" || name == "sc" || name == "cluster" ||
+           name == "mem" || name == "srf";
+}
+
+SectionDiff
+compareCheckpoints(const std::string &a, const std::string &b)
+{
+    std::vector<RawSection> sa = readSections(a);
+    std::vector<RawSection> sb = readSections(b);
+    SectionDiff diff;
+    for (const RawSection &s : sa) {
+        if (!architecturalSection(s.name))
+            continue;
+        const RawSection *other = nullptr;
+        for (const RawSection &t : sb) {
+            if (t.name == s.name) {
+                other = &t;
+                break;
+            }
+        }
+        if (!other || other->payload != s.payload) {
+            diff.differ = true;
+            diff.firstDivergent = s.name;
+            return diff;
+        }
+    }
+    return diff;
+}
+
+BisectResult
+bisectDivergence(const std::vector<std::string> &clean,
+                 const std::vector<std::string> &faulty,
+                 uint64_t everyCycles)
+{
+    BisectResult r;
+    uint64_t n = std::min(clean.size(), faulty.size());
+    auto differ = [&](uint64_t i) {
+        ++r.comparisons;
+        return compareCheckpoints(clean[i - 1], faulty[i - 1]).differ;
+    };
+    if (n == 0 || !differ(n)) {
+        // Byte-identical over the whole common range.  A faulty run
+        // that stopped archiving early (crash snapshot aside) still
+        // diverged - at the first boundary it failed to reach.
+        if (faulty.size() < clean.size()) {
+            r.diverged = true;
+            r.interval = faulty.size() + 1;
+            r.cycle = r.interval * everyCycles;
+            r.component = "(faulty run ended before this boundary)";
+        }
+        return r;
+    }
+    // Smallest i in [1, n] with differ(i); monotone per the header.
+    uint64_t lo = 1, hi = n;
+    while (lo < hi) {
+        uint64_t mid = lo + (hi - lo) / 2;
+        if (differ(mid))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    ++r.comparisons;
+    r.diverged = true;
+    r.interval = lo;
+    r.cycle = lo * everyCycles;
+    r.component =
+        compareCheckpoints(clean[lo - 1], faulty[lo - 1]).firstDivergent;
+    return r;
+}
+
+} // namespace imagine::ckpt

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic divergence bisection over checkpoint archives.
+ *
+ * Given two runs of the same program on the same machine shape - one
+ * fault-free, one under a chaos seed - each archiving a snapshot at
+ * every k-cycle boundary (ImagineSystem::setCheckpointHook), the first
+ * boundary whose architectural state differs brackets the fault's first
+ * visible effect to a k-cycle interval.  Comparison is raw section
+ * bytes: the five component sections ("host", "sc", "cluster", "mem",
+ * "srf") are the machine's architectural state, while "meta", "run" and
+ * "faults" are engine bookkeeping that legitimately differs between the
+ * two runs (fault counters, RNG cursors) and is ignored.
+ *
+ * Divergence is monotone for every modeled fault class - a perturbed
+ * machine never byte-reconverges with the unperturbed one, because even
+ * a corrected-in-place fault that leaves data identical either leaves
+ * all state identical (no divergence anywhere) or shifts timing state
+ * (AG/channel/scoreboard cycles) that only drifts further - so binary
+ * search over the boundary index finds the earliest divergent interval
+ * with O(log n) file comparisons.
+ */
+
+#ifndef IMAGINE_CKPT_BISECT_HH
+#define IMAGINE_CKPT_BISECT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace imagine::ckpt
+{
+
+/** True for the component sections compared by the bisector. */
+bool architecturalSection(const std::string &name);
+
+/** Outcome of comparing two checkpoint files' architectural state. */
+struct SectionDiff
+{
+    bool differ = false;
+    /** First differing section, in file (tick) order. */
+    std::string firstDivergent;
+};
+
+/** Compare the architectural sections of checkpoints @p a and @p b. */
+SectionDiff compareCheckpoints(const std::string &a,
+                               const std::string &b);
+
+/** Where and how a faulty run first diverged from the clean run. */
+struct BisectResult
+{
+    bool diverged = false;
+    /** First divergent boundary index (1-based; boundary i = i*k). */
+    uint64_t interval = 0;
+    /** Cycle of that boundary: the divergence lies in (cycle-k, cycle]. */
+    Cycle cycle = 0;
+    /** First divergent component section at that boundary. */
+    std::string component;
+    /** Snapshot-pair comparisons the search performed. */
+    uint64_t comparisons = 0;
+};
+
+/**
+ * Binary-search the earliest boundary where @p faulty 's archived
+ * snapshots diverge from @p clean 's.  Element i of each vector is the
+ * snapshot at boundary i+1 (cycle (i+1)*everyCycles).  A faulty run
+ * that crashed before the clean run's last boundary and matches on
+ * every boundary it did reach is reported divergent at its first
+ * missing boundary.
+ */
+BisectResult bisectDivergence(const std::vector<std::string> &clean,
+                              const std::vector<std::string> &faulty,
+                              uint64_t everyCycles);
+
+} // namespace imagine::ckpt
+
+#endif // IMAGINE_CKPT_BISECT_HH

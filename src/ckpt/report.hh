@@ -1,0 +1,29 @@
+/**
+ * @file
+ * HangReport serialization: crash snapshots carry the structured
+ * diagnostics of the failure that produced them, so a wedged chaos run
+ * is debuggable from its on-disk artifacts alone (DESIGN.md section
+ * 11).  The round trip is exact - every field, including the slot list
+ * and dependency cycle, survives save/load bit-for-bit
+ * (tests/error_test.cc).
+ */
+
+#ifndef IMAGINE_CKPT_REPORT_HH
+#define IMAGINE_CKPT_REPORT_HH
+
+#include "sim/error.hh"
+
+namespace imagine::ckpt
+{
+
+class Serializer;
+class Deserializer;
+
+/** Write @p r into the current section of @p s. */
+void saveHangReport(Serializer &s, const HangReport &r);
+/** Read a HangReport written by saveHangReport. */
+HangReport loadHangReport(Deserializer &d);
+
+} // namespace imagine::ckpt
+
+#endif // IMAGINE_CKPT_REPORT_HH

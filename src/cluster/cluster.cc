@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "ckpt/serializer.hh"
 #include "kernelc/compile_cache.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
@@ -139,11 +140,8 @@ ClusterArray::start(const CompiledKernel *k, std::vector<Binding> ins,
     // issue cycle (loopWindow_ == loopTotal_ == 0) and only the fixed
     // startup/prologue/epilogue/shutdown phases run.
 
-    // Value buffers sized for the deepest software-pipeline overlap.
-    uint32_t need = static_cast<uint32_t>(k->loop.stages()) + 2;
-    depth_ = 1;
-    while (depth_ < need)
-        depth_ <<= 1;
+    bindDerived();
+
     if (!skipPrologue_) {
         // Fresh value buffers; the prologue (if any) re-materializes
         // loop invariants.  A back-to-back restart of the same kernel
@@ -154,6 +152,34 @@ ClusterArray::start(const CompiledKernel *k, std::vector<Binding> ins,
     }
     if (!restart_)
         curBind_->accSaved.clear();
+    proCursor_ = 0;
+    epiCursor_ = 0;
+
+    phase_ = Phase::Startup;
+    t_ = 0;
+    kernelCycles_ = 0;
+    stallWatchdog_ = 0;
+
+    ++stats_.kernelsRun;
+    uint32_t maxLen = trip_ * numClusters;
+    for (const Binding &b : ins_)
+        maxLen = std::max(maxLen, b.length);
+    stats_.kernelStreamWords += maxLen;
+
+    if (trace_)
+        traceKernelStart();
+}
+
+void
+ClusterArray::bindDerived()
+{
+    const CompiledKernel *k = kernel_;
+
+    // Value buffers sized for the deepest software-pipeline overlap.
+    uint32_t need = static_cast<uint32_t>(k->loop.stages()) + 2;
+    depth_ = 1;
+    while (depth_ < need)
+        depth_ <<= 1;
 
     // Issue buckets by cycle-mod-II for the main loop.
     loopBuckets_.assign(std::max(k->loop.ii, 1), {});
@@ -259,8 +285,6 @@ ClusterArray::start(const CompiledKernel *k, std::vector<Binding> ins,
                        k->name(), low_->depth, depth_);
     }
     epiRowSlot_ = trip_ > 0 ? ((trip_ - 1) & (depth_ - 1)) : 0;
-    proCursor_ = 0;
-    epiCursor_ = 0;
 
     // Per-cycle scratch sized once to the widest issue group.
     size_t widest = std::max(proOps_.size(), epiOps_.size());
@@ -268,20 +292,6 @@ ClusterArray::start(const CompiledKernel *k, std::vector<Binding> ins,
         widest = std::max(widest, bucket.size());
     opScratch_.reserve(widest);
     iterScratch_.reserve(widest);
-
-    phase_ = Phase::Startup;
-    t_ = 0;
-    kernelCycles_ = 0;
-    stallWatchdog_ = 0;
-
-    ++stats_.kernelsRun;
-    uint32_t maxLen = trip_ * numClusters;
-    for (const Binding &b : ins_)
-        maxLen = std::max(maxLen, b.length);
-    stats_.kernelStreamWords += maxLen;
-
-    if (trace_)
-        traceKernelStart();
 }
 
 void
@@ -1235,6 +1245,127 @@ ClusterArray::skipIdle(Cycle from, uint64_t span)
         stats_.epilogueCycles += span;
         stallWatchdog_ = 0;
     }
+}
+
+void
+ClusterArray::saveState(ckpt::Serializer &s) const
+{
+    const std::vector<kernelc::CompiledKernel> &reg = *s.ctx().kernels;
+    // Kernel pointers always point into the system's registry; encode
+    // them as registry indices (UINT32_MAX = null).
+    auto kernelIdx = [&reg](const CompiledKernel *k) -> uint32_t {
+        return k ? static_cast<uint32_t>(k - reg.data()) : UINT32_MAX;
+    };
+    s.vec(ucrs_);
+    s.vec(scratchpad_);
+    s.u64(bindClock_);
+    // Bind cache sorted by registry index so the byte image is
+    // independent of hash-map iteration order.
+    std::vector<std::pair<uint32_t, const KernelBind *>> entries;
+    entries.reserve(binds_.size());
+    for (const auto &[k, b] : binds_)
+        entries.emplace_back(kernelIdx(k), &b);
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    s.u64(entries.size());
+    for (const auto &[idx, b] : entries) {
+        s.u32(idx);
+        s.b(b->hasRun);
+        s.u64(b->lastUse);
+        std::vector<uint32_t> accIds;
+        accIds.reserve(b->accSaved.size());
+        for (const auto &[id, fin] : b->accSaved) {
+            (void)fin;
+            accIds.push_back(id);
+        }
+        std::sort(accIds.begin(), accIds.end());
+        s.u64(accIds.size());
+        for (uint32_t id : accIds) {
+            s.u32(id);
+            const auto &fin = b->accSaved.at(id);
+            s.bytes(fin.data(), fin.size() * sizeof(Word));
+        }
+        // The lowered trace is shared process-wide via the compile
+        // cache and re-fetched on rebind; never serialized.
+    }
+    s.u32(kernelIdx(kernel_));
+    s.u32(kernelIdx(lastKernel_));
+    s.u64(ins_.size());
+    for (const Binding &b : ins_) {
+        s.i32(b.client);
+        s.u32(b.length);
+    }
+    s.u64(outs_.size());
+    for (const Binding &b : outs_) {
+        s.i32(b.client);
+        s.u32(b.length);
+    }
+    s.u32(trip_);
+    s.b(restart_);
+    s.b(skipPrologue_);
+    s.b(insResident_);
+    s.u8(static_cast<uint8_t>(phase_));
+    s.u64(t_);
+    s.u64(kernelCycles_);
+    s.u64(stallWatchdog_);
+    s.u64(proCursor_);
+    s.u64(epiCursor_);
+    s.vec(values_);
+}
+
+void
+ClusterArray::loadState(ckpt::Deserializer &d)
+{
+    const std::vector<kernelc::CompiledKernel> &reg = *d.ctx().kernels;
+    auto kernelAt = [&reg](uint32_t idx) -> const CompiledKernel * {
+        return idx == UINT32_MAX ? nullptr : &reg.at(idx);
+    };
+    ucrs_ = d.vec<Word>();
+    scratchpad_ = d.vec<std::array<Word, numClusters>>();
+    bindClock_ = d.u64();
+    binds_.clear();
+    for (uint64_t i = 0, n = d.u64(); i < n; ++i) {
+        const CompiledKernel *k = kernelAt(d.u32());
+        KernelBind &b = binds_[k];
+        b.hasRun = d.b();
+        b.lastUse = d.u64();
+        for (uint64_t a = 0, na = d.u64(); a < na; ++a) {
+            uint32_t id = d.u32();
+            std::array<Word, numClusters> fin;
+            d.bytes(fin.data(), fin.size() * sizeof(Word));
+            b.accSaved[id] = fin;
+        }
+    }
+    kernel_ = kernelAt(d.u32());
+    lastKernel_ = kernelAt(d.u32());
+    curBind_ = kernel_ ? &binds_[kernel_] : nullptr;
+    ins_.assign(d.u64(), Binding{});
+    for (Binding &b : ins_) {
+        b.client = d.i32();
+        b.length = d.u32();
+    }
+    outs_.assign(d.u64(), Binding{});
+    for (Binding &b : outs_) {
+        b.client = d.i32();
+        b.length = d.u32();
+    }
+    trip_ = d.u32();
+    restart_ = d.b();
+    skipPrologue_ = d.b();
+    insResident_ = d.b();
+    phase_ = static_cast<Phase>(d.u8());
+    t_ = d.u64();
+    kernelCycles_ = d.u64();
+    stallWatchdog_ = d.u64();
+    proCursor_ = d.u64();
+    epiCursor_ = d.u64();
+    values_ = d.vec<Word>();
+    // Everything derived from (kernel, trip, bind) is recomputed, not
+    // restored: same inputs, same tables.
+    if (kernel_)
+        bindDerived();
 }
 
 } // namespace imagine

@@ -125,6 +125,8 @@ class ClusterArray : public Component
     void resetStats() override { stats_ = {}; }
     Cycle nextEventAfter(Cycle now) const override;
     void skipIdle(Cycle from, uint64_t span) override;
+    void saveState(ckpt::Serializer &s) const override;
+    void loadState(ckpt::Deserializer &d) override;
 
     // --- micro-controller scalar registers ----------------------------
     Word ucr(int i) const { return ucrs_.at(static_cast<size_t>(i)); }
@@ -149,6 +151,18 @@ class ClusterArray : public Component
         uint32_t node;
         int time;
     };
+
+    /**
+     * Re-derive every launch table that is a pure function of the bound
+     * kernel, trip count, config and bind-cache entry: value-buffer
+     * depth, issue buckets, loop extents, steady-state window, sweep
+     * tables, sorted prologue/epilogue schedules, the lowered micro-op
+     * trace and scratch reserves.  Called by start() at launch and by
+     * loadState() after a restore (the lowered trace is re-fetched from
+     * the process-wide CompileCache rather than serialized, so a
+     * restored run rebinds deterministically).
+     */
+    void bindDerived();
 
     /**
      * True when every input stream is fully fetched into the SRF.

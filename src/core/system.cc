@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <ctime>
 
+#include "ckpt/report.hh"
+#include "ckpt/serializer.hh"
 #include "kernelc/compile_cache.hh"
 #include "sim/log.hh"
 
@@ -20,6 +22,125 @@ idleCauseNames()
     static const std::vector<std::string> names = {
         "none", "ucode", "mem", "sc", "host"};
     return names;
+}
+
+// --- checkpoint fingerprints (DESIGN.md section 11) -------------------
+// A checkpoint only restores onto the exact session shape that wrote
+// it; these hashes reject everything else up front with a diagnosable
+// error instead of deserializing garbage into components.
+
+uint64_t
+fnv1a64(const void *p, size_t n, uint64_t h)
+{
+    const auto *b = static_cast<const uint8_t *>(p);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= b[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/**
+ * Hash every config field with architectural effect.  Deliberately
+ * excluded: the engine knobs proven bit-identical across settings
+ * (eventDriven, predecode), the trace sink (a read-only observer) and
+ * the checkpoint knobs themselves - a restored run may legitimately
+ * checkpoint elsewhere, and restore across engine modes is a supported
+ * (and tested) use.
+ */
+uint64_t
+configFingerprint(const MachineConfig &c)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](const auto &v) { h = fnv1a64(&v, sizeof(v), h); };
+    mix(c.coreClockHz);
+    mix(c.memClockDivider);
+    mix(c.numAdders);
+    mix(c.numMultipliers);
+    mix(c.sbInPorts);
+    mix(c.sbOutPorts);
+    mix(c.scratchpadWords);
+    mix(c.lrfWordsPerCluster);
+    mix(c.latFpAdd);
+    mix(c.latFpMul);
+    mix(c.latDsq);
+    mix(c.dsqOccupancy);
+    mix(c.latIntAdd);
+    mix(c.latIntMul);
+    mix(c.latSubword);
+    mix(c.latSpRead);
+    mix(c.latSpWrite);
+    mix(c.latComm);
+    mix(c.latSbRead);
+    mix(c.latSbWrite);
+    mix(c.latMov);
+    mix(c.kernelStartupCycles);
+    mix(c.kernelShutdownCycles);
+    mix(c.srfSizeWords);
+    mix(c.srfBandwidthWordsPerCycle);
+    mix(c.streamBufferWords);
+    mix(c.numAddressGenerators);
+    mix(c.numChannels);
+    mix(c.banksPerChannel);
+    mix(c.rowWords);
+    mix(c.tRcd);
+    mix(c.tCas);
+    mix(c.tRp);
+    mix(c.mcPipelineCycles);
+    mix(c.mcCacheWords);
+    mix(c.quirkPrechargeBug);
+    mix(c.ucodeStoreInstrs);
+    mix(c.ucodeWordsPerInstr);
+    mix(c.hostMips);
+    mix(c.scoreboardSlots);
+    mix(c.scIssueOverhead);
+    mix(c.quirkIssueLatency);
+    mix(c.hostRoundTripCycles);
+    mix(c.nonPlaybackHostOverheadCycles);
+    mix(c.numSdrs);
+    mix(c.numMars);
+    mix(c.numUcrs);
+    mix(c.faults.enabled);
+    mix(c.faults.seed);
+    mix(c.faults.srfFlipRate);
+    mix(c.faults.dramFlipRate);
+    mix(c.faults.ucodeCorruptRate);
+    mix(c.faults.stuckSlotRate);
+    mix(c.faults.agStallRate);
+    mix(c.faults.agStallBurstCycles);
+    mix(c.faults.srfEcc);
+    mix(c.faults.memEcc);
+    mix(c.faults.maxRetries);
+    mix(c.watchdogStagnationCycles);
+    mix(c.clusterBindCacheKernels);
+    return h;
+}
+
+uint64_t
+programFingerprint(const StreamProgram &p)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    uint64_t n = p.instrs.size();
+    h = fnv1a64(&n, sizeof(n), h);
+    for (const StreamInstr &si : p.instrs) {
+        h = fnv1a64(&si.kind, sizeof(si.kind), h);
+        h = fnv1a64(&si.kernelId, sizeof(si.kernelId), h);
+        h = fnv1a64(&si.regIndex, sizeof(si.regIndex), h);
+    }
+    return h;
+}
+
+uint64_t
+kernelsFingerprint(const KernelRegistry &ks)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    uint64_t n = ks.size();
+    h = fnv1a64(&n, sizeof(n), h);
+    for (const kernelc::CompiledKernel &k : ks) {
+        uint32_t u = static_cast<uint32_t>(k.ucodeInstrs);
+        h = fnv1a64(&u, sizeof(u), h);
+    }
+    return h;
 }
 
 } // namespace
@@ -125,10 +246,28 @@ registerRunStats(StatsRegistry &reg, RunResult &r)
     reg.vector("system.idleCycles", r.idleCycles, idleCauseNames());
 }
 
+namespace
+{
+
+/** Run ordinal recorded in a checkpoint's meta section. */
+uint64_t
+checkpointRunOrdinal(const std::string &path)
+{
+    ckpt::Deserializer d = ckpt::Deserializer::fromFile(path);
+    d.section("meta");
+    d.u64();  // config fingerprint
+    d.u64();  // program fingerprint
+    d.u64();  // kernel-registry fingerprint
+    return d.u64();
+}
+
+} // namespace
+
 RunResult
 ImagineSystem::run(const StreamProgram &program, bool playback,
                    uint64_t cycleLimit)
 {
+    uint64_t runIndex = runCount_++;
     StatsSnapshot before = stats_.snapshot();
     size_t trace0 = inj_ ? inj_->trace().size() : 0;
 
@@ -185,6 +324,38 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
     // wrongly outlive the burst and suppress every later in-kernel
     // skip.
     bool skipHold = false;
+
+    // One-shot restore: session setup (kernel registration, data
+    // staging, loadProgram above) replayed normally; now the saved
+    // mid-run state is overlaid and the loop continues from it.  A
+    // snapshot taken in a later run() of a multi-run program replays
+    // the earlier runs from scratch (they are deterministic) and
+    // restores when its recorded ordinal comes up.
+    if (!cfg_.restorePath.empty() && !restoreConsumed_) {
+        uint64_t ord = checkpointRunOrdinal(cfg_.restorePath);
+        if (ord < runIndex)
+            throw SimError(
+                SimErrorKind::Fatal,
+                strfmt("checkpoint %s: recorded run ordinal %llu "
+                       "already passed (this is run %llu)",
+                       cfg_.restorePath.c_str(),
+                       static_cast<unsigned long long>(ord),
+                       static_cast<unsigned long long>(runIndex)));
+        if (ord == runIndex) {
+            restoreConsumed_ = true;
+            restoreCheckpoint(cfg_.restorePath, program, playback,
+                              runIndex, start, lastProgress, skipHold,
+                              trace0, before);
+            lastMetric = progress();
+        }
+    }
+    const uint64_t ckptEvery = cfg_.checkpointEveryCycles;
+    const bool ckptPeriodic =
+        ckptEvery > 0 && !cfg_.checkpointPath.empty();
+    // Suppresses a redundant write at run entry / right after restore
+    // (both sit exactly on a boundary).
+    Cycle lastCkpt = cycle_;
+
     // Thread CPU time, not wall clock: the cycle loop is single-
     // threaded and CPU time is immune to scheduler preemption, so
     // bench comparisons stay stable on loaded machines.
@@ -194,7 +365,21 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
         return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
     };
     double wall0 = threadSeconds();
+    try {
     while (true) {
+        // Periodic checkpoints are taken at the top of the loop - a
+        // between-ticks point - so the file is resumable: restoring it
+        // and re-entering the loop replays exactly the ticks the
+        // writing run performed after it.
+        if (ckptPeriodic && (cycle_ - start) % ckptEvery == 0 &&
+            cycle_ != lastCkpt) {
+            saveCheckpoint(cfg_.checkpointPath, program, playback,
+                           runIndex, start, lastProgress, skipHold,
+                           trace0, before, nullptr);
+            lastCkpt = cycle_;
+            if (checkpointHook_)
+                checkpointHook_(cycle_ - start, cfg_.checkpointPath);
+        }
         bool finished = host_.finished() && sc_.drained() &&
                         sc_.quiescent() && !clusters_.busy();
         if (finished)
@@ -273,6 +458,11 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
         }
         h = std::min(h, lastProgress + cfg_.watchdogStagnationCycles);
         h = std::min(h, start + cycleLimit);
+        // Never jump past a checkpoint boundary: periodic snapshots
+        // land on exact cycle multiples in every engine mode.
+        if (ckptPeriodic)
+            h = std::min(h, start + ((cycle_ - start) / ckptEvery + 1) *
+                                        ckptEvery);
         if (h <= cycle_)
             continue;
         ++dbgSkips;
@@ -304,6 +494,23 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
             throwWatchdog();
         if (cycle_ - start >= cycleLimit)
             throwLimit();
+    }
+    } catch (const SimError &e) {
+        runWallSeconds_ += threadSeconds() - wall0;
+        // Crash snapshot: the at-failure state plus the structured
+        // report, next to the periodic file (which still holds the
+        // last good interval).  Diagnostic only - taken mid-iteration,
+        // so it is not resumable - and best-effort: a second failure
+        // while writing it must not mask the original error.
+        if (!cfg_.checkpointPath.empty()) {
+            try {
+                saveCheckpoint(cfg_.checkpointPath + ".crash", program,
+                               playback, runIndex, start, lastProgress,
+                               skipHold, trace0, before, &e);
+            } catch (const SimError &) {
+            }
+        }
+        throw;
     }
     runWallSeconds_ += threadSeconds() - wall0;
     if (getenv("IMAGINE_SKIP_DEBUG"))
@@ -493,6 +700,119 @@ ImagineSystem::buildHangReport(Cycle lastProgress,
     report->clustersBusy = clusters_.busy();
     report->clusterKernelCycles = clusters_.currentKernelCycles();
     return report;
+}
+
+void
+ImagineSystem::saveCheckpoint(const std::string &path,
+                              const StreamProgram &program,
+                              bool playback, uint64_t runIndex,
+                              uint64_t start, Cycle lastProgress,
+                              bool skipHold, size_t trace0,
+                              const StatsSnapshot &before,
+                              const SimError *err) const
+{
+    ckpt::Serializer s(ckpt::Context{&kernels_, &program});
+    s.section("meta");
+    s.u64(configFingerprint(cfg_));
+    s.u64(programFingerprint(program));
+    s.u64(kernelsFingerprint(kernels_));
+    s.u64(runIndex);
+    s.b(playback);
+    s.section("run");
+    s.u64(cycle_);
+    s.u64(start);
+    s.u64(lastProgress);
+    s.b(skipHold);
+    s.u64(trace0);
+    s.vec(before.values());
+    s.vec(stats_.snapshot().values());
+    s.section("host");
+    host_.saveState(s);
+    s.section("sc");
+    sc_.saveState(s);
+    s.section("cluster");
+    clusters_.saveState(s);
+    s.section("mem");
+    mem_.saveState(s);
+    s.section("srf");
+    srf_.saveState(s);
+    s.section("faults");
+    s.b(inj_ != nullptr);
+    if (inj_)
+        inj_->saveState(s);
+    if (err) {
+        s.section("report");
+        s.u8(static_cast<uint8_t>(err->kind()));
+        s.str(err->what());
+        const HangReport *hr = err->hangReport();
+        s.b(hr != nullptr);
+        if (hr)
+            ckpt::saveHangReport(s, *hr);
+    }
+    s.writeFile(path);
+}
+
+void
+ImagineSystem::restoreCheckpoint(const std::string &path,
+                                 const StreamProgram &program,
+                                 bool playback, uint64_t runIndex,
+                                 uint64_t &start, Cycle &lastProgress,
+                                 bool &skipHold, size_t &trace0,
+                                 StatsSnapshot &before)
+{
+    ckpt::Deserializer d = ckpt::Deserializer::fromFile(
+        path, ckpt::Context{&kernels_, &program});
+    d.section("meta");
+    auto verify = [&path](const char *what, uint64_t got,
+                          uint64_t want) {
+        if (got != want)
+            throw SimError(
+                SimErrorKind::Fatal,
+                strfmt("checkpoint %s: %s mismatch (file %llx, "
+                       "session %llx); a checkpoint only restores "
+                       "onto the session shape that wrote it",
+                       path.c_str(), what,
+                       static_cast<unsigned long long>(got),
+                       static_cast<unsigned long long>(want)));
+    };
+    verify("config fingerprint", d.u64(), configFingerprint(cfg_));
+    verify("program fingerprint", d.u64(), programFingerprint(program));
+    verify("kernel-registry fingerprint", d.u64(),
+           kernelsFingerprint(kernels_));
+    verify("run ordinal", d.u64(), runIndex);
+    verify("playback mode", d.b() ? 1 : 0, playback ? 1 : 0);
+    d.section("run");
+    cycle_ = d.u64();
+    start = d.u64();
+    lastProgress = d.u64();
+    skipHold = d.b();
+    trace0 = static_cast<size_t>(d.u64());
+    before = StatsSnapshot::fromValues(d.vec<uint64_t>());
+    StatsSnapshot current = StatsSnapshot::fromValues(d.vec<uint64_t>());
+    d.section("host");
+    host_.loadState(d);
+    d.section("sc");
+    sc_.loadState(d);
+    d.section("cluster");
+    clusters_.loadState(d);
+    d.section("mem");
+    mem_.loadState(d);
+    d.section("srf");
+    srf_.loadState(d);
+    d.section("faults");
+    bool hadInjector = d.b();
+    if (hadInjector != (inj_ != nullptr))
+        throw SimError(SimErrorKind::Fatal,
+                       strfmt("checkpoint %s: fault-injection state "
+                              "present=%d but session injector "
+                              "present=%d",
+                              path.c_str(), hadInjector ? 1 : 0,
+                              inj_ ? 1 : 0));
+    if (inj_)
+        inj_->loadState(d);
+    // Every registered counter - component stats, fault stats, the
+    // idle-cause vector - restored in one pass through the registry.
+    stats_.restore(current);
 }
 
 } // namespace imagine

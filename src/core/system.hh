@@ -18,6 +18,7 @@
 #define IMAGINE_CORE_SYSTEM_HH
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -173,6 +174,19 @@ class ImagineSystem
     /** The fault injector, or null when config().faults.enabled is off. */
     const FaultInjector *faultInjector() const { return inj_.get(); }
 
+    /**
+     * Observer called after every periodic checkpoint write with the
+     * run-relative cycle of the boundary and the file just written.
+     * Lets a harness archive each interval (the bisect driver renames
+     * the file per boundary) instead of keeping only the latest.
+     */
+    void
+    setCheckpointHook(
+        std::function<void(Cycle, const std::string &)> hook)
+    {
+        checkpointHook_ = std::move(hook);
+    }
+
     /** The trace sink, or null when config().trace is off. */
     trace::TraceSink *traceSink() { return trace_.get(); }
     const trace::TraceSink *traceSink() const { return trace_.get(); }
@@ -208,6 +222,30 @@ class ImagineSystem
     std::shared_ptr<const HangReport> buildHangReport(
         Cycle lastProgress, uint64_t cycleLimit) const;
 
+    /**
+     * Serialize full machine state to @p path: config/program
+     * fingerprints, the run-loop state, every component, the stats
+     * registry and the fault injector.  @p err non-null marks a crash
+     * snapshot and appends the "report" section (error kind, message,
+     * HangReport).
+     */
+    void saveCheckpoint(const std::string &path,
+                        const StreamProgram &program, bool playback,
+                        uint64_t runIndex, uint64_t start,
+                        Cycle lastProgress, bool skipHold,
+                        size_t trace0, const StatsSnapshot &before,
+                        const SimError *err) const;
+    /**
+     * Overlay @p path's state after loadProgram() replayed the session
+     * setup.  Verifies the config/program/kernel fingerprints and the
+     * run ordinal; throws SimError(Fatal) on any mismatch.
+     */
+    void restoreCheckpoint(const std::string &path,
+                           const StreamProgram &program, bool playback,
+                           uint64_t runIndex, uint64_t &start,
+                           Cycle &lastProgress, bool &skipHold,
+                           size_t &trace0, StatsSnapshot &before);
+
     MachineConfig cfg_;
     KernelRegistry kernels_;
     std::unique_ptr<FaultInjector> inj_;    ///< null when faults off
@@ -220,6 +258,9 @@ class ImagineSystem
     HostProcessor host_;
     Cycle cycle_ = 0;
     double runWallSeconds_ = 0.0;   ///< host time inside cycle loops
+    uint64_t runCount_ = 0;         ///< run() calls so far (checkpoint meta)
+    bool restoreConsumed_ = false;  ///< cfg.restorePath is one-shot
+    std::function<void(Cycle, const std::string &)> checkpointHook_;
 
     /** All components in tick order (engine-owned, session-lifetime). */
     std::array<Component *, 5> components_;

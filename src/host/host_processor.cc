@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/serializer.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
 #include "trace/trace.hh"
@@ -140,6 +141,26 @@ HostProcessor::nextEventAfter(Cycle now) const
     if (sc_.scoreboardFull())
         return kForever;            // woken by a slot freeing
     return sendCycle();
+}
+
+void
+HostProcessor::saveState(ckpt::Serializer &s) const
+{
+    // program_ is re-bound by loadProgram() before a restore; only the
+    // dispatcher position and interface timers are checkpoint state.
+    s.u64(next_);
+    s.f64(budget_);
+    s.u64(blockedUntil_);
+    s.b(playback_);
+}
+
+void
+HostProcessor::loadState(ckpt::Deserializer &d)
+{
+    next_ = d.u64();
+    budget_ = d.f64();
+    blockedUntil_ = d.u64();
+    playback_ = d.b();
 }
 
 void

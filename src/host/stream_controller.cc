@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "ckpt/serializer.hh"
 #include "sim/error.hh"
 #include "sim/fault.hh"
 #include "sim/log.hh"
@@ -695,6 +696,107 @@ StreamController::dumpHang(HangReport &report) const
         if (!color.count(idx) && dfs(dfs, idx))
             break;
     }
+}
+
+void
+StreamController::saveState(ckpt::Serializer &s) const
+{
+    s.u64(slots_.size());
+    for (const Slot &sl : slots_) {
+        // The instr pointer is always &program_->instrs[idx] (enqueue
+        // stores the reference it is handed), so idx alone recovers it.
+        s.u32(sl.idx);
+        s.u8(static_cast<uint8_t>(sl.state));
+        s.u64(sl.issueDone);
+        s.i32(sl.ag);
+        s.i32(sl.retries);
+        s.b(sl.inPlace);
+        s.vec(sl.inClients);
+        s.vec(sl.outClients);
+    }
+    s.vec(done_);
+    s.i32(reservedAg_);
+    s.b(issueBusy_);
+    s.u64(issueBusyUntil_);
+    s.u64(sdrs_.size());
+    for (const Sdr &r : sdrs_) {
+        s.u32(r.srfOffset);
+        s.u32(r.length);
+    }
+    s.u64(mars_.size());
+    for (const Mar &m : mars_) {
+        s.u64(m.baseWord);
+        s.u8(static_cast<uint8_t>(m.mode));
+        s.u32(m.strideWords);
+        s.u32(m.recordWords);
+    }
+    s.vec(ucrs_);
+    // LRU order is meaningful; the list serializes front to back.
+    s.u64(ucodeLru_.size());
+    for (uint16_t id : ucodeLru_)
+        s.u16(id);
+    // ucodeSize_ is unordered; sort by kernel id for a stable byte
+    // image (bisect compares sections byte-for-byte).
+    std::vector<std::pair<uint16_t, int>> sizes(ucodeSize_.begin(),
+                                                ucodeSize_.end());
+    std::sort(sizes.begin(), sizes.end());
+    s.u64(sizes.size());
+    for (const auto &[id, instrs] : sizes) {
+        s.u16(id);
+        s.i32(instrs);
+    }
+    s.i32(ucodeUsed_);
+    s.i32(ucodeLoadAg_);
+    s.u16(ucodeLoading_);
+    s.i32(ucodeRetries_);
+    s.u8(static_cast<uint8_t>(idleCause_));
+}
+
+void
+StreamController::loadState(ckpt::Deserializer &d)
+{
+    slots_.assign(d.u64(), Slot{});
+    for (Slot &sl : slots_) {
+        sl.idx = d.u32();
+        sl.instr = &program_->instrs[sl.idx];
+        sl.state = static_cast<SlotState>(d.u8());
+        sl.issueDone = d.u64();
+        sl.ag = d.i32();
+        sl.retries = d.i32();
+        sl.inPlace = d.b();
+        sl.inClients = d.vec<int>();
+        sl.outClients = d.vec<int>();
+    }
+    done_ = d.vec<uint8_t>();
+    reservedAg_ = d.i32();
+    issueBusy_ = d.b();
+    issueBusyUntil_ = d.u64();
+    sdrs_.assign(d.u64(), Sdr{});
+    for (Sdr &r : sdrs_) {
+        r.srfOffset = d.u32();
+        r.length = d.u32();
+    }
+    mars_.assign(d.u64(), Mar{});
+    for (Mar &m : mars_) {
+        m.baseWord = d.u64();
+        m.mode = static_cast<MarMode>(d.u8());
+        m.strideWords = d.u32();
+        m.recordWords = d.u32();
+    }
+    ucrs_ = d.vec<Word>();
+    ucodeLru_.clear();
+    for (uint64_t i = 0, n = d.u64(); i < n; ++i)
+        ucodeLru_.push_back(d.u16());
+    ucodeSize_.clear();
+    for (uint64_t i = 0, n = d.u64(); i < n; ++i) {
+        uint16_t id = d.u16();
+        ucodeSize_[id] = d.i32();
+    }
+    ucodeUsed_ = d.i32();
+    ucodeLoadAg_ = d.i32();
+    ucodeLoading_ = d.u16();
+    ucodeRetries_ = d.i32();
+    idleCause_ = static_cast<IdleCause>(d.u8());
 }
 
 void

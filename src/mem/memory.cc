@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/serializer.hh"
 #include "sim/error.hh"
 #include "sim/fault.hh"
 #include "sim/log.hh"
@@ -170,6 +171,138 @@ MemorySystem::dumpHang(HangReport &report) const
     report.queuedDramRequests = 0;
     for (const Channel &ch : channels_)
         report.queuedDramRequests += ch.queue.size();
+}
+
+namespace
+{
+
+/** Expose a priority_queue's protected underlying container. */
+template <typename Q>
+const typename Q::container_type &
+pqContainer(const Q &q)
+{
+    struct Hack : Q
+    {
+        using Q::c;
+    };
+    return q.*&Hack::c;
+}
+
+} // namespace
+
+void
+MemorySystem::saveState(ckpt::Serializer &s) const
+{
+    s.u64(ags_.size());
+    for (const AgState &st : ags_) {
+        s.b(st.active);
+        s.b(st.isLoad);
+        s.b(st.indexed);
+        s.b(st.sink);
+        s.u64(st.mar.baseWord);
+        s.u8(static_cast<uint8_t>(st.mar.mode));
+        s.u32(st.mar.strideWords);
+        s.u32(st.mar.recordWords);
+        s.i32(st.dataClient);
+        s.i32(st.idxClient);
+        s.u32(st.length);
+        s.u32(st.nextElem);
+        s.u32(st.completed);
+        s.u32(st.curRecord);
+        s.u64(st.curRecordBase);
+        // The heap array verbatim: restoring it element by element
+        // reproduces the identical internal layout (each push's sift-up
+        // terminates immediately on an already-valid heap), so pop
+        // order is bit-identical to the run that wrote it.
+        const std::vector<Delivery> &heap = pqContainer(st.deliveries);
+        s.u64(heap.size());
+        for (const Delivery &del : heap) {
+            s.u64(del.ready);
+            s.u32(del.elem);
+            s.u32(del.data);
+        }
+        s.u64(st.startCycle);
+        s.b(st.faultDetected);
+        s.u64(st.stallUntil);
+    }
+    s.u64(channels_.size());
+    for (const Channel &ch : channels_) {
+        s.u64(ch.queue.size());
+        for (const DramReq &rq : ch.queue) {
+            s.u64(rq.wordAddr);
+            s.u32(rq.elem);
+            s.u8(rq.ag);
+            s.b(rq.isWrite);
+            s.u64(rq.enqueuedMem);
+        }
+        s.u64(ch.banks.size());
+        for (const Bank &bk : ch.banks) {
+            s.i64(bk.openRow);
+            s.u64(bk.nextFreeMem);
+            s.u32(bk.seqHits);
+            s.u64(bk.lastPerChan);
+        }
+        s.u64(ch.busNextFreeMem);
+        s.u32(ch.frontSkips);
+    }
+    s.vec(cacheTags_);
+    space_.saveState(s);
+}
+
+void
+MemorySystem::loadState(ckpt::Deserializer &d)
+{
+    ags_.assign(d.u64(), AgState{});
+    for (AgState &st : ags_) {
+        st.active = d.b();
+        st.isLoad = d.b();
+        st.indexed = d.b();
+        st.sink = d.b();
+        st.mar.baseWord = d.u64();
+        st.mar.mode = static_cast<MarMode>(d.u8());
+        st.mar.strideWords = d.u32();
+        st.mar.recordWords = d.u32();
+        st.dataClient = d.i32();
+        st.idxClient = d.i32();
+        st.length = d.u32();
+        st.nextElem = d.u32();
+        st.completed = d.u32();
+        st.curRecord = d.u32();
+        st.curRecordBase = d.u64();
+        for (uint64_t i = 0, n = d.u64(); i < n; ++i) {
+            Delivery del;
+            del.ready = d.u64();
+            del.elem = d.u32();
+            del.data = d.u32();
+            st.deliveries.push(del);
+        }
+        st.startCycle = d.u64();
+        st.faultDetected = d.b();
+        st.stallUntil = d.u64();
+    }
+    channels_.assign(d.u64(), Channel{});
+    for (Channel &ch : channels_) {
+        for (uint64_t i = 0, n = d.u64(); i < n; ++i) {
+            DramReq rq;
+            rq.wordAddr = d.u64();
+            rq.elem = d.u32();
+            rq.ag = d.u8();
+            rq.isWrite = d.b();
+            rq.enqueuedMem = d.u64();
+            ch.queue.push_back(rq);
+        }
+        ch.banks.assign(d.u64(), Bank{});
+        for (Bank &bk : ch.banks) {
+            bk.openRow = d.i64();
+            bk.nextFreeMem = d.u64();
+            bk.seqHits = d.u32();
+            bk.lastPerChan = d.u64();
+        }
+        ch.busNextFreeMem = d.u64();
+        ch.frontSkips = d.u32();
+    }
+    cacheTags_ = d.vec<int64_t>();
+    space_.loadState(d);
 }
 
 void

@@ -92,6 +92,8 @@ class MemorySystem : public Component
     void registerStats(StatsRegistry &reg) override;
     void resetStats() override { stats_ = {}; }
     Cycle nextEventAfter(Cycle now) const override;
+    void saveState(ckpt::Serializer &s) const override;
+    void loadState(ckpt::Deserializer &d) override;
 
     // --- resilience -----------------------------------------------------
     /** Attach a fault injector (null = no injection; the default). */

@@ -1,5 +1,8 @@
 #include "mem/memspace.hh"
 
+#include <algorithm>
+
+#include "ckpt/serializer.hh"
 #include "sim/error.hh"
 #include "sim/log.hh"
 
@@ -58,6 +61,33 @@ MemorySpace::readWords(Addr wordAddr, size_t count) const
     for (size_t i = 0; i < count; ++i)
         out[i] = readWord(wordAddr + i);
     return out;
+}
+
+void
+MemorySpace::saveState(ckpt::Serializer &s) const
+{
+    std::vector<Addr> keys;
+    keys.reserve(pages_.size());
+    for (const auto &[idx, p] : pages_) {
+        (void)p;
+        keys.push_back(idx);
+    }
+    std::sort(keys.begin(), keys.end());
+    s.u64(keys.size());
+    for (Addr idx : keys) {
+        s.u64(idx);
+        s.vec(pages_.at(idx));
+    }
+}
+
+void
+MemorySpace::loadState(ckpt::Deserializer &d)
+{
+    pages_.clear();
+    for (uint64_t i = 0, n = d.u64(); i < n; ++i) {
+        Addr idx = d.u64();
+        pages_[idx] = d.vec<Word>();
+    }
 }
 
 } // namespace imagine

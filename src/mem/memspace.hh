@@ -17,6 +17,12 @@
 namespace imagine
 {
 
+namespace ckpt
+{
+class Serializer;
+class Deserializer;
+} // namespace ckpt
+
 /** Lazily-paged word-addressable memory image. */
 class MemorySpace
 {
@@ -33,6 +39,14 @@ class MemorySpace
     /** Bulk helpers for loading workload data. */
     void writeWords(Addr wordAddr, const std::vector<Word> &words);
     std::vector<Word> readWords(Addr wordAddr, size_t count) const;
+
+    /**
+     * Checkpoint every allocated page, sorted by page index so the
+     * byte image is independent of hash-map iteration order.  Restore
+     * replaces the full page set.
+     */
+    void saveState(ckpt::Serializer &s) const;
+    void loadState(ckpt::Deserializer &d);
 
   private:
     static constexpr Addr pageWords = 1 << 16;

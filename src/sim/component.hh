@@ -25,6 +25,11 @@ namespace imagine
 {
 
 class StatsRegistry;
+namespace ckpt
+{
+class Serializer;
+class Deserializer;
+} // namespace ckpt
 
 /** Horizon value meaning "no self-generated event, ever". */
 inline constexpr Cycle kForever = ~Cycle(0);
@@ -69,6 +74,23 @@ class Component
         (void)from;
         (void)span;
     }
+
+    // --- checkpoint/restore (DESIGN.md section 11) ---------------------
+    /**
+     * Serialize all architectural and engine state into the current
+     * checkpoint section.  Counters registered on the StatsRegistry are
+     * captured centrally by the engine, not here; everything else a
+     * resumed run reads must be written, in a fixed field order that
+     * loadState() mirrors exactly.
+     */
+    virtual void saveState(ckpt::Serializer &s) const = 0;
+    /**
+     * Restore state written by saveState() on an identically-configured
+     * component.  The engine has already replayed session setup
+     * (program load, kernel registration); loadState() overlays the
+     * mid-run state so the next tick() continues bit-identically.
+     */
+    virtual void loadState(ckpt::Deserializer &d) = 0;
 
   protected:
     Component() = default;

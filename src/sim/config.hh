@@ -14,6 +14,8 @@
 #ifndef IMAGINE_SIM_CONFIG_HH
 #define IMAGINE_SIM_CONFIG_HH
 
+#include <string>
+
 #include "sim/types.hh"
 
 namespace imagine
@@ -216,6 +218,33 @@ struct MachineConfig
      * bound, so long traced runs degrade gracefully.
      */
     uint64_t traceMaxEvents = 1'000'000;
+    /**
+     * Periodic checkpointing (DESIGN.md section 11): every this many
+     * cycles of a run, serialize full machine state to checkpointPath.
+     * 0 (the default) disables it.  The event-horizon fast-forward
+     * clamps its jumps to the next boundary, so checkpoints land on
+     * exact cycle multiples in every engine mode.
+     */
+    uint64_t checkpointEveryCycles = 0;
+    /**
+     * Where periodic checkpoints are written (each overwrites the
+     * last, so the file always holds the latest interval).  On an
+     * abnormal run exit - watchdog hang, exhausted fault budget - the
+     * engine additionally writes "<checkpointPath>.crash": the
+     * at-failure state plus the HangReport and error message, for
+     * post-mortem inspection (diagnostic only; not resumable, since it
+     * is taken mid-iteration).  Empty disables all checkpoint output.
+     */
+    std::string checkpointPath;
+    /**
+     * Restore a checkpoint at the start of the next run(): session
+     * setup (kernels, program load, data staging) replays normally,
+     * then the saved mid-run state is overlaid and the run continues
+     * bit-identically to the run that wrote the file.  Consumed by the
+     * matching run (one-shot); the config/program fingerprints in the
+     * file must match or run() throws SimError(Fatal).
+     */
+    std::string restorePath;
 
     // ------------------------------------------------------------------
     // Derived quantities

@@ -1,5 +1,6 @@
 #include "sim/fault.hh"
 
+#include "ckpt/serializer.hh"
 #include "sim/stats.hh"
 
 namespace imagine
@@ -115,6 +116,22 @@ FaultInjector::onSlotCompletion(uint32_t instrIdx)
     record(FaultSite::StuckSlot, FaultOutcome::Detected, instrIdx, 0);
     ++stats_.stuckCompletions;
     return true;
+}
+
+void
+FaultInjector::saveState(ckpt::Serializer &s) const
+{
+    s.bytes(rng_.state(), 4 * sizeof(uint32_t));
+    s.vec(trace_);
+}
+
+void
+FaultInjector::loadState(ckpt::Deserializer &d)
+{
+    uint32_t st[4];
+    d.bytes(st, sizeof(st));
+    rng_.setState(st);
+    trace_ = d.vec<FaultEvent>();
 }
 
 int

@@ -45,6 +45,11 @@ namespace imagine
 {
 
 class StatsRegistry;
+namespace ckpt
+{
+class Serializer;
+class Deserializer;
+} // namespace ckpt
 
 /** Where a fault was injected. */
 enum class FaultSite : uint8_t
@@ -142,6 +147,14 @@ class FaultInjector
     {
         stats_.registerOn(reg, "faults");
     }
+
+    /**
+     * Checkpoint the RNG cursor and the fault trace.  The FaultStats
+     * counters are all registered, so the engine restores them
+     * centrally through StatsRegistry::restore.
+     */
+    void saveState(ckpt::Serializer &s) const;
+    void loadState(ckpt::Deserializer &d);
 
   private:
     /** One uniform draw; compares against an injection rate. */

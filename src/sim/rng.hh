@@ -71,6 +71,16 @@ class Rng
         return lo + (hi - lo) * uniform();
     }
 
+    // --- checkpoint access (ckpt/serializer.hh) ------------------------
+    /** The four xoshiro words; restoring them resumes the sequence. */
+    const uint32_t *state() const { return state_; }
+    void
+    setState(const uint32_t s[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = s[i];
+    }
+
   private:
     uint32_t state_[4];
 };

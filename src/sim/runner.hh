@@ -29,17 +29,36 @@
 #define IMAGINE_SIM_RUNNER_HH
 
 #include <atomic>
+#include <cstdint>
 #include <exception>
 #include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "sim/error.hh"
+
 namespace imagine
 {
 
 /** Number of worker threads SimBatch uses by default (>= 1). */
 int hardwareThreads();
+
+/**
+ * Success-or-error outcome of one runSettled() job: exactly one of
+ * value/error is set.  SimError is copyable (it derives
+ * std::logic_error and carries its HangReport by shared_ptr), so the
+ * whole campaign outcome - including why each run failed - travels by
+ * value to the collecting thread.
+ */
+template <typename R>
+struct Settled
+{
+    std::optional<R> value;
+    std::optional<SimError> error;
+
+    bool ok() const { return value.has_value(); }
+};
 
 /** Runs N independent simulation jobs over a thread pool. */
 class SimBatch
@@ -100,8 +119,47 @@ class SimBatch
         return out;
     }
 
+    /**
+     * Like run(), but a job's failure is captured in its result slot
+     * instead of aborting the whole batch: slot i holds either fn(i)'s
+     * value or the SimError it threw, in index order.  Non-SimError
+     * exceptions are wrapped as SimErrorKind::Panic so the variant is
+     * total and runSettled() itself never throws.  Each captured error
+     * bumps failures().
+     */
+    template <typename Fn>
+    auto
+    runSettled(int jobs, Fn &&fn)
+        -> std::vector<Settled<std::invoke_result_t<Fn &, int>>>
+    {
+        using R = std::invoke_result_t<Fn &, int>;
+        auto settle = [&fn](int i) -> Settled<R> {
+            Settled<R> s;
+            try {
+                s.value.emplace(fn(i));
+            } catch (const SimError &e) {
+                s.error.emplace(e);
+            } catch (const std::exception &e) {
+                s.error.emplace(SimErrorKind::Panic, e.what());
+            } catch (...) {
+                s.error.emplace(SimErrorKind::Panic,
+                                "non-exception throw from batch job");
+            }
+            return s;
+        };
+        std::vector<Settled<R>> out = run(jobs, settle);
+        for (const Settled<R> &s : out)
+            if (!s.ok())
+                ++failures_;
+        return out;
+    }
+
+    /** Jobs whose error runSettled() captured so far (cumulative). */
+    uint64_t failures() const { return failures_; }
+
   private:
     int threads_;
+    uint64_t failures_ = 0;
 };
 
 } // namespace imagine

@@ -185,6 +185,18 @@ StatsRegistry::assign(const StatsDelta &d)
 }
 
 void
+StatsRegistry::restore(const StatsSnapshot &s)
+{
+    IMAGINE_ASSERT(s.values_.size() == stats_.size(),
+                   "snapshot restored on a different registry shape "
+                   "(%zu vs %zu stats)",
+                   s.values_.size(), stats_.size());
+    for (size_t i = 0; i < stats_.size(); ++i)
+        if (stats_[i].ptr)
+            *stats_[i].ptr = s.values_[i];
+}
+
+void
 StatsRegistry::reset()
 {
     for (Stat &st : stats_)

@@ -46,6 +46,20 @@ class StatsRegistry;
 /** Point-in-time values of every stat registered on one registry. */
 class StatsSnapshot
 {
+  public:
+    StatsSnapshot() = default;
+    /** Rebuild a snapshot from serialized raw values (checkpoints). */
+    static StatsSnapshot
+    fromValues(std::vector<uint64_t> values)
+    {
+        StatsSnapshot s;
+        s.values_ = std::move(values);
+        return s;
+    }
+    /** Raw values, in registration order (checkpoint serialization). */
+    const std::vector<uint64_t> &values() const { return values_; }
+
+  private:
     friend class StatsRegistry;
     std::vector<uint64_t> values_;
 };
@@ -108,6 +122,14 @@ class StatsRegistry
      * engine delta.
      */
     void assign(const StatsDelta &d);
+    /**
+     * Write @p s's raw values back through every pointer-backed stat,
+     * in registration order (callback stats are skipped - their values
+     * are process-wide and not owned by the session).  Restores every
+     * component counter, in one pass, from a checkpointed snapshot;
+     * the registry shape must match the one that took the snapshot.
+     */
+    void restore(const StatsSnapshot &s);
     /** Zero every pointer-backed stat. */
     void reset();
 

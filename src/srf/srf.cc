@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/serializer.hh"
 #include "sim/fault.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
@@ -372,6 +373,52 @@ Srf::skipIdle(Cycle, uint64_t span)
     // (and transfers zero words); fold the cursor.
     if (!clients_.empty())
         rrNext_ = (rrNext_ + span) % clients_.size();
+}
+
+void
+Srf::saveState(ckpt::Serializer &s) const
+{
+    s.vec(data_);
+    // The full client vector, inactive slots included: handles are
+    // indices into it and the arbiter cursor wraps on its size.
+    s.u64(clients_.size());
+    for (const Client &c : clients_) {
+        s.b(c.active);
+        s.b(c.isIn);
+        s.u32(c.offset);
+        s.u32(c.length);
+        s.u32(c.base);
+        s.u32(c.fetched);
+        s.u32(c.produced);
+        s.vec(c.window);
+        s.u32(c.windowWords);
+        s.b(c.faulted);
+        s.b(c.movable);
+    }
+    s.i32(movableCount_);
+    s.u64(rrNext_);
+}
+
+void
+Srf::loadState(ckpt::Deserializer &d)
+{
+    data_ = d.vec<Word>();
+    clients_.assign(d.u64(), Client{});
+    for (Client &c : clients_) {
+        c.active = d.b();
+        c.isIn = d.b();
+        c.offset = d.u32();
+        c.length = d.u32();
+        c.base = d.u32();
+        c.fetched = d.u32();
+        c.produced = d.u32();
+        c.window = d.vec<uint8_t>();
+        c.windowWords = d.u32();
+        c.faulted = d.b();
+        c.movable = d.b();
+    }
+    movableCount_ = d.i32();
+    rrNext_ = d.u64();
 }
 
 } // namespace imagine

@@ -61,6 +61,56 @@ TEST(SimBatchTest, LowestIndexExceptionWinsAndAllJobsRun)
     EXPECT_EQ(ran.load(), 20);
 }
 
+TEST(SimBatchTest, RunSettledCapturesEveryFailureInItsSlot)
+{
+    SimBatch batch(8);
+    std::atomic<int> ran{0};
+    std::vector<Settled<int>> r = batch.runSettled(20, [&](int i) {
+        ran.fetch_add(1);
+        if (i == 7)
+            throw SimError(SimErrorKind::UnrecoveredFault, "job 7");
+        if (i == 13)
+            throw std::runtime_error("job 13");
+        return i * 2;
+    });
+    EXPECT_EQ(ran.load(), 20);
+    ASSERT_EQ(r.size(), 20u);
+    EXPECT_EQ(batch.failures(), 2u);
+    for (int i = 0; i < 20; ++i) {
+        const Settled<int> &s = r[static_cast<size_t>(i)];
+        if (i == 7) {
+            ASSERT_FALSE(s.ok());
+            EXPECT_EQ(s.error->kind(), SimErrorKind::UnrecoveredFault);
+            EXPECT_STREQ(s.error->what(), "job 7");
+        } else if (i == 13) {
+            // Foreign exceptions are wrapped so the variant is total.
+            ASSERT_FALSE(s.ok());
+            EXPECT_EQ(s.error->kind(), SimErrorKind::Panic);
+            EXPECT_STREQ(s.error->what(), "job 13");
+        } else {
+            ASSERT_TRUE(s.ok()) << i;
+            EXPECT_EQ(*s.value, i * 2);
+        }
+    }
+}
+
+TEST(SimBatchTest, FailureCountAccumulatesAcrossCampaigns)
+{
+    SimBatch batch(4);
+    batch.runSettled(5, [](int i) {
+        if (i == 0)
+            throw SimError(SimErrorKind::Hang, "wedged");
+        return i;
+    });
+    EXPECT_EQ(batch.failures(), 1u);
+    batch.runSettled(5, [](int i) { return i; });
+    EXPECT_EQ(batch.failures(), 1u);
+    batch.runSettled(2, [](int) -> int {
+        throw SimError(SimErrorKind::Panic, "boom");
+    });
+    EXPECT_EQ(batch.failures(), 3u);
+}
+
 namespace
 {
 

@@ -100,14 +100,19 @@ void
 campaign(const char *name, const RunApp &runApp)
 {
     SimBatch batch;
-    std::vector<ChaosOutcome> outcomes =
-        batch.run(kRunsPerApp,
-                  [&](int i) { return chaosRun(runApp, i); });
+    std::vector<Settled<ChaosOutcome>> settled =
+        batch.runSettled(kRunsPerApp,
+                         [&](int i) { return chaosRun(runApp, i); });
+
+    // chaosRun converts every SimError to a ChaosOutcome itself, so an
+    // error settling at the batch layer is a harness escape, not a
+    // chaos finding.
+    ASSERT_EQ(batch.failures(), 0u) << name;
 
     uint64_t injected = 0;
     int clean = 0, explained = 0, reported = 0;
     for (int i = 0; i < kRunsPerApp; ++i) {
-        const ChaosOutcome &o = outcomes[static_cast<size_t>(i)];
+        const ChaosOutcome &o = *settled[static_cast<size_t>(i)].value;
         injected += o.injected;
         switch (o.kind) {
           case ChaosOutcome::Kind::Clean:
