@@ -24,6 +24,7 @@
 #include "sim/log.hh"
 #include "sim/rng.hh"
 #include "sim/runner.hh"
+#include "sweep_shapes.hh"
 
 namespace imagine::bench
 {

@@ -9,7 +9,11 @@
  *  - event-horizon fast-forward on vs off (DESIGN.md section 8);
  *  - tracing on vs off (DESIGN.md section 10) - an overhead axis:
  *    the speedup is expected to sit below 1.0 and quantifies what a
- *    traced run costs.
+ *    traced run costs;
+ *  - sampled fidelity vs full cycle accuracy (DESIGN.md section 12) -
+ *    the only axis that changes the model, run on fidelity-stress app
+ *    shapes (loop trips large enough to fold) and reporting the cycle
+ *    error next to the wall speedup instead of asserting identity.
  *
  * This is a plain executable (not a google-benchmark binary) so it can
  * emit a machine-readable summary:
@@ -29,6 +33,7 @@
 #include <thread>
 
 #include "apps/apps.hh"
+#include "sweep_shapes.hh"
 #include "sim/log.hh"
 
 using namespace imagine;
@@ -140,6 +145,95 @@ measureAxis(const char *onKey, const char *offKey,
     return r;
 }
 
+/**
+ * One fidelity-stress app run (bench::runStressApp shapes: loop trips
+ * large enough to fold; rtsl stays stock and honest at ~1x since its
+ * conditional output streams are structurally ineligible).
+ */
+Timed
+runFidelityApp(int app, bool sampled)
+{
+    MachineConfig mc = MachineConfig::devBoard();
+    mc.eventDriven = true;
+    mc.predecode = true;
+    mc.srfSizeWords = 4u * 1024 * 1024;    // room for the long streams
+    mc.fidelity = sampled ? Fidelity::Sampled : Fidelity::Cycle;
+    ImagineSystem sys(mc);
+    Timed t;
+    t.app = bench::runStressApp(sys, app);
+    t.loopSeconds = sys.runWallSeconds();
+    return t;
+}
+
+/**
+ * The fidelity axis cannot reuse measureAxis: the sampled arm's cycle
+ * count is an estimate (identicalCycles would always fail) and its
+ * folded output data holds representative rather than exact values
+ * (golden validation fails by design).  The gate is instead the
+ * per-app cycle error against the Cycle arm staying inside the 2%
+ * design bound.  Best-of-2 per arm; the first rep also warms the
+ * compile caches for these shapes.
+ */
+AxisResult
+measureFidelityAxis()
+{
+    const char *apps[] = {"depth", "mpeg", "qrd", "rtsl"};
+    AxisResult r;
+    r.json = "[";
+    double logSum = 0.0;
+    int n = 0;
+    for (int app = 0; app < 4; ++app) {
+        const char *name = apps[app];
+        Timed cyc = runFidelityApp(app, false);
+        Timed smp = runFidelityApp(app, true);
+        double wallC = cyc.loopSeconds;
+        double wallS = smp.loopSeconds;
+        wallC = std::min(wallC, runFidelityApp(app, false).loopSeconds);
+        wallS = std::min(wallS, runFidelityApp(app, true).loopSeconds);
+        double speedup = wallS > 0.0 ? wallC / wallS : 0.0;
+        double cycC = static_cast<double>(cyc.app.run.cycles);
+        double err =
+            cycC > 0.0
+                ? std::fabs(static_cast<double>(smp.app.run.cycles) -
+                            cycC) /
+                      cycC
+                : 0.0;
+        double folded =
+            smp.app.run.cycles
+                ? static_cast<double>(smp.app.run.estimatedCycles) /
+                      static_cast<double>(smp.app.run.cycles)
+                : 0.0;
+        bool errOk = err < 0.02;
+        r.ok = r.ok && errOk;
+        logSum += std::log(speedup);
+        ++n;
+
+        std::printf("%-6s cycles=%-12llu sampled=%-12llu err=%.3f%% "
+                    "folded=%.1f%% wallCycle=%.3fs wallSampled=%.3fs "
+                    "speedup=%.2fx%s\n",
+                    name,
+                    static_cast<unsigned long long>(cyc.app.run.cycles),
+                    static_cast<unsigned long long>(smp.app.run.cycles),
+                    100.0 * err, 100.0 * folded, wallC, wallS, speedup,
+                    errOk ? "" : "  ERROR BOUND EXCEEDED");
+
+        if (n > 1)
+            r.json += ',';
+        r.json += strfmt(
+            "{\"name\":\"%s\",\"cyclesCycle\":%llu,"
+            "\"cyclesSampled\":%llu,\"cycleError\":%.17g,"
+            "\"foldedShare\":%.17g,\"loopSecondsCycle\":%.6f,"
+            "\"loopSecondsSampled\":%.6f,\"speedup\":%.17g,"
+            "\"errorOk\":%s}",
+            name, static_cast<unsigned long long>(cyc.app.run.cycles),
+            static_cast<unsigned long long>(smp.app.run.cycles), err,
+            folded, wallC, wallS, speedup, errOk ? "true" : "false");
+    }
+    r.geomean = std::exp(logSum / n);
+    r.json += ']';
+    return r;
+}
+
 } // namespace
 
 int
@@ -170,10 +264,15 @@ main(int argc, char **argv)
         "TraceOn", "TraceOff", [](const char *name, bool on) {
             return runApp(name, true, true, on);
         });
-    std::printf("trace geomean speedup %.2fx (overhead %.1f%%)\n",
+    std::printf("trace geomean speedup %.2fx (overhead %.1f%%)\n\n",
                 trc.geomean,
                 trc.geomean > 0.0 ? 100.0 * (1.0 / trc.geomean - 1.0)
                                   : 0.0);
+
+    std::printf("-- sampled fidelity vs cycle (fidelity-stress shapes) "
+                "--\n");
+    AxisResult fid = measureFidelityAxis();
+    std::printf("fidelity geomean speedup %.2fx\n", fid.geomean);
 
 #if defined(__clang__)
     const char *compiler = "clang " __clang_version__;
@@ -187,14 +286,15 @@ main(int argc, char **argv)
 #endif
     std::string json = strfmt(
         "{\"host\":{\"hardwareThreads\":%u,\"compiler\":\"%s\","
-        "\"buildType\":\"%s\"},"
+        "\"buildType\":\"%s\",\"sampleLoopFraction\":%.17g},"
         "\"predecodeAB\":{\"apps\":%s,\"geomeanSpeedup\":%.17g},"
         "\"skipAB\":{\"apps\":%s,\"geomeanSpeedup\":%.17g},"
-        "\"traceAB\":{\"apps\":%s,\"geomeanSpeedup\":%.17g}}",
+        "\"traceAB\":{\"apps\":%s,\"geomeanSpeedup\":%.17g},"
+        "\"fidelityAB\":{\"apps\":%s,\"geomeanSpeedup\":%.17g}}",
         std::thread::hardware_concurrency(), compiler,
-        IMAGINE_BUILD_TYPE, pre.json.c_str(), pre.geomean,
-        skip.json.c_str(), skip.geomean, trc.json.c_str(),
-        trc.geomean);
+        IMAGINE_BUILD_TYPE, MachineConfig::devBoard().sampleLoopFraction,
+        pre.json.c_str(), pre.geomean, skip.json.c_str(), skip.geomean,
+        trc.json.c_str(), trc.geomean, fid.json.c_str(), fid.geomean);
 
     if (FILE *f = std::fopen(outPath, "w")) {
         std::fputs(json.c_str(), f);
@@ -204,5 +304,5 @@ main(int argc, char **argv)
         std::fprintf(stderr, "perf_smoke: cannot write %s\n", outPath);
         return 1;
     }
-    return pre.ok && skip.ok && trc.ok ? 0 : 1;
+    return pre.ok && skip.ok && trc.ok && fid.ok ? 0 : 1;
 }

@@ -70,5 +70,52 @@ main(int argc, char **argv)
                 100 * gApps.mpeg.run.gops / peakOps,
                 100 * gApps.qrd.run.gflops / peakFlops,
                 100 * gApps.rtsl.run.gops / peakOps);
+
+    // Design-space sweep at the sampled fidelity tier (DESIGN.md
+    // section 12): apps x machine shapes over one SimBatch, on the
+    // fidelity-stress app shapes whose loops actually fold.  Cycle
+    // counts here are estimates with per-kernel error bounds; the
+    // point of the section is sweep throughput, not headline numbers.
+    header("Sampled-tier DSE sweep (apps x machine shapes)");
+    const char *appNames[] = {"DEPTH", "MPEG", "QRD", "RTSL"};
+    std::vector<MachineShape> shapes;
+    for (const MachineShape &s : machineShapes())
+        if (std::string(s.name) == "baseline" ||
+            std::string(s.name) == "wide_cluster" ||
+            std::string(s.name) == "narrow_srf" ||
+            std::string(s.name) == "two_channels")
+            shapes.push_back(s);
+    SimBatch batch;
+    auto sweep = batch.runSettled(
+        static_cast<int>(shapes.size()) * 4, [&](int i) {
+            MachineConfig cfg =
+                shapes[static_cast<size_t>(i) / 4].cfg;
+            cfg.srfSizeWords = 4u * 1024 * 1024;
+            cfg.fidelity = Fidelity::Sampled;
+            ImagineSystem sys(cfg);
+            return runStressApp(sys, i % 4);
+        });
+    std::printf("%-14s %-6s %12s %10s %9s\n", "shape", "app",
+                "est. cycles", "folded", "maxBound");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        const char *shape = shapes[i / 4].name;
+        const char *app = appNames[i % 4];
+        if (!sweep[i].ok()) {
+            std::printf("%-14s %-6s ERR: %s\n", shape, app,
+                        sweep[i].error->what());
+            continue;
+        }
+        const RunResult &r = sweep[i].value->run;
+        double folded =
+            r.cycles ? static_cast<double>(r.estimatedCycles) /
+                           static_cast<double>(r.cycles)
+                     : 0.0;
+        double maxBound = 0.0;
+        for (const KernelFoldRecord &k : r.kernelFolds)
+            maxBound = std::max(maxBound, k.errorBound);
+        std::printf("%-14s %-6s %12llu %9.1f%% %8.2f%%\n", shape, app,
+                    static_cast<unsigned long long>(r.cycles),
+                    100.0 * folded, 100.0 * maxBound);
+    }
     return 0;
 }

@@ -13,6 +13,13 @@
  *   --checkpoint-every=N    also snapshot FILE every N cycles
  *   --restore=FILE          resume from a snapshot written by a run of
  *                           this example with the same flags
+ *   --fidelity=TIER         cycle (default) | sampled: the sampled tier
+ *                           folds most steady-state loop iterations
+ *                           analytically (DESIGN.md section 12); cycle
+ *                           counts become estimates with reported
+ *                           error bounds
+ *   --sample-fraction=F     sampled tier only: fraction of steady-state
+ *                           iterations to execute cycle-accurately
  *
  * Each example keeps its own positional arguments; this header only
  * owns the machine-level flags so all four apps expose the same knobs.
@@ -109,6 +116,31 @@ parseExampleFlag(const char *arg, MachineConfig &mc, ExampleFlags &fl)
     }
     if (const char *v = val("--restore=")) {
         mc.restorePath = v;
+        return true;
+    }
+    if (const char *v = val("--fidelity=")) {
+        if (std::strcmp(v, "cycle") == 0)
+            mc.fidelity = Fidelity::Cycle;
+        else if (std::strcmp(v, "sampled") == 0)
+            mc.fidelity = Fidelity::Sampled;
+        else {
+            std::fprintf(stderr,
+                         "--fidelity=%s: expected cycle|sampled\n", v);
+            std::exit(2);
+        }
+        return true;
+    }
+    if (const char *v = val("--sample-fraction=")) {
+        char *end = nullptr;
+        mc.sampleLoopFraction = std::strtod(v, &end);
+        if (end == v || mc.sampleLoopFraction <= 0.0 ||
+            mc.sampleLoopFraction >= 1.0) {
+            std::fprintf(stderr,
+                         "--sample-fraction=%s: expected a fraction in "
+                         "(0, 1)\n",
+                         v);
+            std::exit(2);
+        }
         return true;
     }
     return false;

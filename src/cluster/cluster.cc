@@ -159,6 +159,10 @@ ClusterArray::start(const CompiledKernel *k, std::vector<Binding> ins,
     t_ = 0;
     kernelCycles_ = 0;
     stallWatchdog_ = 0;
+    launchFoldedIters_ = 0;
+    launchFoldedCycles_ = 0;
+    launchRateMin_ = 0.0;
+    launchRateMax_ = 0.0;
 
     ++stats_.kernelsRun;
     uint32_t maxLen = trip_ * numClusters;
@@ -292,6 +296,267 @@ ClusterArray::bindDerived()
         widest = std::max(widest, bucket.size());
     opScratch_.reserve(widest);
     iterScratch_.reserve(widest);
+
+    // Sampled-fidelity fold plan (DESIGN.md section 12).  Short loops
+    // (trip <= 2048) always run at full fidelity: their steady state is
+    // too small to amortize the measurement strata.
+    foldPlan_.clear();
+    foldStreamOps_.clear();
+    foldNext_ = 0;
+    if (allowSampling_ && !emptyLoop && trip_ > 2048)
+        planSampling();
+}
+
+void
+ClusterArray::planSampling()
+{
+    const CompiledKernel *k = kernel_;
+    const uint64_t ii = k->loop.ii;
+    // Conditional output streams append a data-dependent number of
+    // words per iteration; a fold cannot reproduce their element
+    // positions without executing the predicate, so such kernels run at
+    // full fidelity.  Same for the (theoretical) non-loop-region Out
+    // scheduled inside the loop.
+    for (const ScheduledOp &s : k->loop.ops) {
+        const Node &n = k->graph.nodes[s.node];
+        if (n.op == Opcode::OutCond ||
+            (n.op == Opcode::Out && n.region != Region::Loop))
+            return;
+    }
+    // Iteration-aligned steady-state window [lo, hi): every position in
+    // it executes its full bucket, so folded regions can start and stop
+    // on iteration boundaries.
+    const uint64_t lo = (steadyLo_ + ii - 1) / ii * ii;
+    const uint64_t hi = steadyHi_ / ii * ii;
+    if (hi <= lo)
+        return;
+    const uint64_t usable = (hi - lo) / ii;
+    // Three cycle-accurate strata (head, middle, tail) bracket the two
+    // folded regions.  Each stall-rate measurement uses only the
+    // *trailing* part of its stratum: loop entry and every fold exit
+    // leave the stream buffers in a transient occupancy for tens of
+    // positions, and rates sampled inside that transient are biased.
+    // The stratum floor (96 positions) keeps the trailing window large
+    // enough that rate quantization stays well under the error bound.
+    const uint64_t minStratum =
+        std::max<uint64_t>(96,
+                           static_cast<uint64_t>(k->loop.stages()) + 2);
+    const uint64_t exact = std::max<uint64_t>(
+        4 * minStratum,
+        static_cast<uint64_t>(sampleFraction_ *
+                              static_cast<double>(usable)) +
+            1);
+    if (usable < exact + 16)
+        return;     // folding fewer than ~16 iterations cannot pay off
+    // The head stratum is doubled: it also absorbs the loop-entry
+    // transient before its trailing measurement window opens.
+    const uint64_t stratum = exact / 4;
+    const uint64_t head = 2 * stratum;
+    const uint64_t mid = stratum;
+    const uint64_t folded = usable - exact;
+    const uint64_t f1 = folded / 2;
+    const uint64_t f2 = folded - f1;
+    const uint64_t armIter = lo / ii;
+    foldPlan_.push_back({(armIter + head) * ii, f1 * ii, f1,
+                         (armIter + head - stratum) * ii});
+    foldPlan_.push_back({(armIter + head + f1 + mid) * ii, f2 * ii, f2,
+                         (armIter + head + f1 + mid - mid / 2) * ii});
+    // Loop stream ops in bucket (= per-position issue) order: replaying
+    // them per folded position block gives the SRF exactly the
+    // consume/produce sequence real execution would, so the
+    // stream-buffer window invariants carry over.
+    for (size_t b = 0; b < loopBuckets_.size(); ++b) {
+        for (const ScheduledOp &s : loopBuckets_[b]) {
+            const Node &n = k->graph.nodes[s.node];
+            if (n.op != Opcode::In && n.op != Opcode::Out)
+                continue;
+            LoopStreamOp op;
+            op.isIn = n.op == Opcode::In;
+            op.streamIdx = n.streamIdx;
+            op.rec = op.isIn ? k->graph.inRec[n.streamIdx]
+                             : k->graph.outRec[n.streamIdx];
+            op.elemIdx = n.elemIdx;
+            op.node = op.isIn ? s.node : n.in[0];
+            op.stage = static_cast<uint32_t>(s.time) /
+                       static_cast<uint32_t>(ii);
+            foldStreamOps_.push_back(op);
+        }
+    }
+}
+
+void
+ClusterArray::setSampling(bool on, double fraction)
+{
+    allowSampling_ = on;
+    sampleFraction_ = std::clamp(fraction, 0.0005, 0.9);
+}
+
+std::vector<KernelFoldRecord>
+ClusterArray::drainFoldReport()
+{
+    std::vector<KernelFoldRecord> out;
+    out.swap(foldReport_);
+    foldReportIdx_.clear();
+    return out;
+}
+
+uint64_t
+ClusterArray::executeFold()
+{
+    IMAGINE_ASSERT(foldArmed(), "executeFold without an armed fold");
+    const FoldRegion &fr = foldPlan_[foldNext_];
+    const uint64_t ii = kernel_->loop.ii;
+
+    // Stall estimate: stalls per issued loop position, measured over
+    // the cycle-accurate stratum since the previous mark (loop entry or
+    // the previous fold), scaled to the folded span.
+    const uint64_t dPos = t_ - foldPosMark_;
+    const uint64_t dStall = stats_.stallCycles - foldStallMark_;
+    const double rate =
+        dPos ? static_cast<double>(dStall) / static_cast<double>(dPos)
+             : 0.0;
+    const uint64_t estStall = static_cast<uint64_t>(
+        rate * static_cast<double>(fr.span) + 0.5);
+    if (launchFoldedIters_ == 0) {
+        launchRateMin_ = launchRateMax_ = rate;
+    } else {
+        launchRateMin_ = std::min(launchRateMin_, rate);
+        launchRateMax_ = std::max(launchRateMax_, rate);
+    }
+
+    // Replay only the region's stream traffic.  Input rows copy the
+    // real stream data into the value buffers (downstream consumers of
+    // loop-carried state see exact inputs at the fold edges); output
+    // rows re-emit the producer's current row, so folded output *data*
+    // is an estimate while word counts, window evolution and stream
+    // lengths stay exact.  Arithmetic is not executed - that is where
+    // the speedup comes from - and the op mix is accounted analytically
+    // for the whole loop by finishLoopBookkeeping.
+    //
+    // Capture the steady-state buffer occupancy (input slack ahead of
+    // the consume point, output backlog awaiting drain) so the fold can
+    // restore exactly that on exit: leaving the buffers fuller (or
+    // emptier) than steady state would re-create the loop-entry
+    // transient and bias the next measurement stratum.
+    std::vector<uint32_t> inSlack, outBacklog;
+    inSlack.reserve(ins_.size());
+    outBacklog.reserve(outs_.size());
+    for (const Binding &b : ins_)
+        inSlack.push_back(srf_.warpInSlack(b.client));
+    for (const Binding &b : outs_)
+        outBacklog.push_back(srf_.warpOutBacklog(b.client));
+    const uint64_t w0 = srf_.stats().wordsTransferred;
+    const uint64_t armIter = fr.arm / ii;
+    // Split the region: all but the last few iterations advance through
+    // the SRF's closed-form bulk paths (O(window) state math plus the
+    // O(rows) data synthesis); the boundary tail replays per row so the
+    // value rings and stream-buffer windows end exactly where a full
+    // per-row replay would, and the tail's per-row asserts double-check
+    // the bulk state.  depth_ ring rows plus the deepest stage skew
+    // bound how far back post-fold execution can read.
+    uint32_t maxStage = 0;
+    for (const LoopStreamOp &op : foldStreamOps_)
+        maxStage = std::max(maxStage, op.stage);
+    const uint64_t tailIters =
+        std::min<uint64_t>(fr.iters, depth_ + maxStage);
+    const uint64_t bulk = fr.iters - tailIters;
+    if (bulk) {
+        std::vector<Srf::WarpRange> ranges;
+        std::vector<Word> tiles;
+        for (size_t s = 0; s < ins_.size(); ++s) {
+            ranges.clear();
+            uint32_t rec = 0;
+            for (const LoopStreamOp &op : foldStreamOps_) {
+                if (!op.isIn || op.streamIdx != s)
+                    continue;
+                rec = op.rec;
+                ranges.push_back(
+                    {op.elemIdx,
+                     static_cast<uint32_t>(armIter - op.stage),
+                     static_cast<uint32_t>(armIter + bulk - op.stage)});
+            }
+            if (ranges.empty())
+                continue;
+            srf_.warpInBulk(ins_[s].client, rec, ranges.data(),
+                            ranges.size());
+            stats_.sbReads += bulk * numClusters * ranges.size();
+        }
+        for (size_t s = 0; s < outs_.size(); ++s) {
+            ranges.clear();
+            tiles.clear();
+            uint32_t rec = 0;
+            for (const LoopStreamOp &op : foldStreamOps_) {
+                if (op.isIn || op.streamIdx != s)
+                    continue;
+                rec = op.rec;
+                ranges.push_back(
+                    {op.elemIdx,
+                     static_cast<uint32_t>(armIter - op.stage),
+                     static_cast<uint32_t>(armIter + bulk - op.stage)});
+                // The producer's current ring rows, slot order, as the
+                // tile this op's folded rows are synthesized from.
+                const Word *ring =
+                    &values_[static_cast<size_t>(op.node) * depth_ *
+                             numClusters];
+                tiles.insert(tiles.end(), ring,
+                             ring + static_cast<size_t>(depth_) *
+                                        numClusters);
+            }
+            if (ranges.empty())
+                continue;
+            srf_.warpOutBulk(outs_[s].client, rec, ranges.data(),
+                             ranges.size(), tiles.data(), depth_);
+            stats_.sbWrites += bulk * numClusters * ranges.size();
+        }
+    }
+    Word row[numClusters];
+    for (uint64_t j = bulk; j < fr.iters; ++j) {
+        for (const LoopStreamOp &op : foldStreamOps_) {
+            uint32_t iter =
+                static_cast<uint32_t>(armIter + j - op.stage);
+            uint32_t first =
+                iter * numClusters * op.rec + op.elemIdx;
+            if (op.isIn) {
+                Word *dst =
+                    &values_[(static_cast<size_t>(op.node) * depth_ +
+                              (iter & (depth_ - 1))) *
+                             numClusters];
+                srf_.warpInRow(ins_[op.streamIdx].client, first,
+                               op.rec, dst);
+                stats_.sbReads += numClusters;
+            } else {
+                for (int lane = 0; lane < numClusters; ++lane)
+                    row[lane] = value(op.node, iter, lane);
+                srf_.warpOutRow(outs_[op.streamIdx].client, first,
+                                op.rec, row);
+                stats_.sbWrites += numClusters;
+            }
+        }
+    }
+    // Restore each client's captured steady-state occupancy: refill
+    // input windows to their entry slack, drain output windows down to
+    // their entry backlog.
+    for (size_t i = 0; i < ins_.size(); ++i)
+        srf_.warpInTopUp(ins_[i].client, inSlack[i]);
+    for (size_t i = 0; i < outs_.size(); ++i)
+        srf_.warpOutSettle(outs_[i].client, outBacklog[i]);
+    const uint64_t moved = srf_.stats().wordsTransferred - w0;
+    const uint64_t bw =
+        static_cast<uint64_t>(cfg_.srfBandwidthWordsPerCycle);
+    srf_.warpAddBusy(std::min<uint64_t>(
+        fr.span + estStall, (moved + bw - 1) / bw));
+
+    // Advance the loop clock across the folded region.
+    t_ += fr.span;
+    kernelCycles_ += fr.span + estStall;
+    stats_.loopCycles += fr.span;
+    stats_.stallCycles += estStall;
+    launchFoldedIters_ += fr.iters;
+    launchFoldedCycles_ += fr.span + estStall;
+    foldPosMark_ = t_;
+    foldStallMark_ = stats_.stallCycles;
+    ++foldNext_;
+    return fr.span + estStall;
 }
 
 void
@@ -382,6 +647,33 @@ ClusterArray::traceKernelRetire()
             continue;
         trace_->span(fuTracks_[i], traceKernelStart_, end, "busy",
                      std::min<uint64_t>(traceFuBusy_[i], dur));
+    }
+}
+
+void
+ClusterArray::rearmTrace()
+{
+    if (!trace_ || phase_ == Phase::Idle)
+        return;
+    // Re-derive per-launch tracking from the restored schedule and open
+    // the kernel span at the restore point; op deltas and FU busy spans
+    // then cover the post-restore portion of the launch.
+    traceKernelStart();
+    // traceKernelStart opened "startup"; move the open phase span to
+    // the phase the restore landed in.
+    const char *name = nullptr;
+    switch (phase_) {
+      case Phase::Startup:  break;
+      case Phase::Prologue: name = "prologue"; break;
+      case Phase::Loop:     name = "loop"; break;
+      case Phase::Epilogue: name = "epilogue"; break;
+      case Phase::Shutdown: name = "shutdown"; break;
+      default:              name = "drain"; break;
+    }
+    if (name) {
+        Cycle c = trace_->now();
+        trace_->closeSpan(tPhase_, c);
+        trace_->openSpan(tPhase_, c, name);
     }
 }
 
@@ -868,6 +1160,33 @@ ClusterArray::finishLoopBookkeeping()
                        kernel_->loop.ii;
     stats_.primingCycles += std::min(priming, loopTotal_);
     accountMix(kernel_->loopMix, trip_);
+
+    // Finalize the launch's sampled-fidelity record.  The error bound
+    // combines a fixed floor (strata edge effects plus the residual
+    // arbiter-phase bias that steady-occupancy restoration cannot
+    // capture, measured under 0.8% across all kernel families) with
+    // the spread of observed stall rates scaled by the folded share of
+    // the launch: the folded cycles are exact in issue slots and
+    // bounded by the best/worst measured stall behavior.
+    if (launchFoldedIters_ > 0) {
+        double bound =
+            0.01 + (launchRateMax_ - launchRateMin_) *
+                        static_cast<double>(launchFoldedCycles_) /
+                        static_cast<double>(
+                            std::max<uint64_t>(kernelCycles_, 1));
+        auto [it, fresh] =
+            foldReportIdx_.try_emplace(kernel_, foldReport_.size());
+        if (fresh) {
+            KernelFoldRecord r;
+            r.name = kernel_->name();
+            foldReport_.push_back(std::move(r));
+        }
+        KernelFoldRecord &rec = foldReport_[it->second];
+        ++rec.launches;
+        rec.foldedIters += launchFoldedIters_;
+        rec.foldedCycles += launchFoldedCycles_;
+        rec.errorBound = std::max(rec.errorBound, bound);
+    }
 }
 
 bool
@@ -907,6 +1226,10 @@ ClusterArray::tick()
                          ? Phase::Loop
                          : Phase::Prologue;
             t_ = 0;
+            if (phase_ == Phase::Loop) {
+                foldPosMark_ = 0;
+                foldStallMark_ = stats_.stallCycles;
+            }
             if (phase_ == Phase::Prologue)
                 accountMix(kernel_->prologueMix, 1);
             if (trace_)
@@ -936,6 +1259,8 @@ ClusterArray::tick()
         if (++t_ >= static_cast<uint64_t>(kernel_->prologue.length)) {
             phase_ = Phase::Loop;
             t_ = 0;
+            foldPosMark_ = 0;
+            foldStallMark_ = stats_.stallCycles;
             if (trace_)
                 tracePhase("loop");
         }
@@ -943,6 +1268,22 @@ ClusterArray::tick()
       }
 
       case Phase::Loop: {
+        // A driver that ignores foldArmed() (direct-tick rigs, chaos
+        // drivers) forfeits the fold: execution simply stays
+        // cycle-accurate past the arm position.
+        while (foldNext_ < foldPlan_.size() &&
+               t_ > foldPlan_[foldNext_].arm)
+            ++foldNext_;
+        // Open the next fold's stall-rate measurement window: marks are
+        // (re)taken when the loop clock first reaches measureFrom, so
+        // only the transient-free tail of the stratum is measured.  The
+        // foldPosMark_ guard makes this one-shot while stalled here.
+        if (foldNext_ < foldPlan_.size() &&
+            t_ == foldPlan_[foldNext_].measureFrom &&
+            foldPosMark_ != t_) {
+            foldPosMark_ = t_;
+            foldStallMark_ = stats_.stallCycles;
+        }
         size_t b = static_cast<size_t>(t_ % kernel_->loop.ii);
         if (low_) {
             // Micro-op path: the stage array filters liveness; the
@@ -1149,6 +1490,23 @@ ClusterArray::nextEventAfter(Cycle now) const
         else
             return now + 1;
         o = std::min(o, loopTotal_ - 1 - t_);
+        // Never advertise a horizon across a fold arm: the driver must
+        // observe foldArmed() exactly at the arm position.  At or past
+        // the arm, stay per-cycle until the fold fires (or forfeits).
+        if (foldNext_ < foldPlan_.size()) {
+            uint64_t arm = foldPlan_[foldNext_].arm;
+            if (t_ >= arm)
+                return now + 1;
+            o = std::min(o, arm - 1 - t_);
+            // Same for the measurement-window open: the mark is taken
+            // by a per-cycle tick, so the event-driven skip must not
+            // batch-execute across measureFrom.
+            uint64_t mf = foldPlan_[foldNext_].measureFrom;
+            if (t_ == mf && foldPosMark_ != t_)
+                return now + 1;
+            if (t_ < mf)
+                o = std::min(o, mf - 1 - t_);
+        }
         if (o == 0)
             return now + 1;
         return now + o + 1;

@@ -22,6 +22,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -81,6 +82,21 @@ struct ClusterStats
     void registerOn(StatsRegistry &reg, const std::string &prefix);
 };
 
+/**
+ * Per-kernel sampled-fidelity fold accounting (DESIGN.md section 12).
+ * One record per kernel that folded at least one loop region during a
+ * run; drained into RunResult at run end.
+ */
+struct KernelFoldRecord
+{
+    std::string name;
+    uint64_t launches = 0;      ///< launches that folded >= 1 region
+    uint64_t foldedIters = 0;   ///< loop iterations folded analytically
+    uint64_t foldedCycles = 0;  ///< wall cycles folded (issue + stalls)
+    /** Worst per-launch relative cycle-error bound across launches. */
+    double errorBound = 0.0;
+};
+
 /** The SIMD cluster array. */
 class ClusterArray : public Component
 {
@@ -138,6 +154,39 @@ class ClusterArray : public Component
 
     /** Attach the session trace sink (null by default: hooks dead). */
     void setTrace(trace::TraceSink *sink);
+
+    /**
+     * Re-lease trace bookkeeping after a checkpoint restore: the trace
+     * sink survives the restore but per-launch tracking (kernel span,
+     * FU busy baselines, open phase span) is not serialized.  Re-derives
+     * the FU busy estimate from the restored schedule and opens spans
+     * for the restored phase at the sink's current time.
+     */
+    void rearmTrace();
+
+    // --- sampled fidelity (DESIGN.md section 12) ----------------------
+    /**
+     * Arm/disarm steady-state loop sampling for subsequent launches.
+     * When armed, bindDerived() plans fold regions for long loops; the
+     * driver must poll foldArmed() each cycle and call executeFold().
+     */
+    void setSampling(bool on, double fraction);
+    /** True when the loop clock sits on a planned fold-region arm. */
+    bool foldArmed() const
+    {
+        return phase_ == Phase::Loop && foldNext_ < foldPlan_.size() &&
+               t_ == foldPlan_[foldNext_].arm;
+    }
+    /**
+     * Fold the armed region: replay only its stream traffic through the
+     * SRF bulk paths, advance the loop clock by the region's issue span
+     * and estimate its stall cycles from the cycle-accurate stratum just
+     * executed.  Returns the wall-cycle span (issue + estimated stall)
+     * the caller must advance the rest of the machine across.
+     */
+    uint64_t executeFold();
+    /** Move the per-kernel fold records out (cleared afterwards). */
+    std::vector<KernelFoldRecord> drainFoldReport();
 
   private:
     enum class Phase : uint8_t
@@ -306,6 +355,56 @@ class ClusterArray : public Component
     /** Per-cycle scratch (avoids per-tick allocation). */
     mutable std::vector<const kernelc::ScheduledOp *> opScratch_;
     mutable std::vector<uint32_t> iterScratch_;
+
+    // --- sampled fidelity (DESIGN.md section 12) ----------------------
+    /** One analytically folded region of the current launch's loop. */
+    struct FoldRegion
+    {
+        uint64_t arm = 0;       ///< loop position where the fold starts
+        uint64_t span = 0;      ///< issue positions folded (iters * ii)
+        uint64_t iters = 0;     ///< iterations folded
+        /**
+         * Loop position where the stall-rate measurement window for
+         * this fold begins.  Only the trailing part of the preceding
+         * cycle-accurate stratum is measured, so the loop-entry (or
+         * post-fold) buffer transient has died out by the time the
+         * rate is sampled.
+         */
+        uint64_t measureFrom = 0;
+    };
+    /**
+     * One loop-region stream op in bucket (per-position issue) order.
+     * Fold replay walks these per folded position block so the SRF sees
+     * exactly the consume/produce sequence of real execution.
+     */
+    struct LoopStreamOp
+    {
+        bool isIn = false;
+        uint16_t streamIdx = 0;
+        uint16_t rec = 0;
+        uint16_t elemIdx = 0;
+        uint32_t node = 0;      ///< In: dest node; Out: source node
+        uint32_t stage = 0;     ///< schedule time / ii
+    };
+    /** Plan fold regions for the current launch (end of bindDerived). */
+    void planSampling();
+    bool allowSampling_ = false;
+    double sampleFraction_ = 0.05;
+    std::vector<FoldRegion> foldPlan_;  ///< empty: full fidelity
+    size_t foldNext_ = 0;               ///< next unexecuted fold region
+    std::vector<LoopStreamOp> foldStreamOps_;
+    /** Measurement marks: loop position / stallCycles at the start of
+     *  the cycle-accurate stratum feeding the next fold's stall rate. */
+    uint64_t foldPosMark_ = 0;
+    uint64_t foldStallMark_ = 0;
+    // Per-launch fold accumulators, finalized in finishLoopBookkeeping.
+    uint64_t launchFoldedIters_ = 0;
+    uint64_t launchFoldedCycles_ = 0;
+    double launchRateMin_ = 0.0;
+    double launchRateMax_ = 0.0;
+    std::vector<KernelFoldRecord> foldReport_;
+    std::unordered_map<const kernelc::CompiledKernel *, size_t>
+        foldReportIdx_;
 
     // --- tracing (DESIGN.md section 10; all dead when trace_ null) ----
     /** Close the open phase span and (unless null) open @p name. */

@@ -273,6 +273,16 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
 
     host_.loadProgram(program, playback);
 
+    // Sampled fidelity (DESIGN.md section 12) applies only when nothing
+    // needs exact per-cycle machine state: armed fault sites, periodic
+    // checkpoints and restored runs all force the full-fidelity tier.
+    const bool sampled =
+        cfg_.fidelity == Fidelity::Sampled && !inj_ &&
+        !(cfg_.checkpointEveryCycles > 0 &&
+          !cfg_.checkpointPath.empty()) &&
+        cfg_.restorePath.empty();
+    clusters_.setSampling(sampled, cfg_.sampleLoopFraction);
+
     RunResult r;
     uint64_t start = cycle_;
 
@@ -347,6 +357,15 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
                               runIndex, start, lastProgress, skipHold,
                               trace0, before);
             lastMetric = progress();
+            // Component state is restored, but trace bookkeeping (slot
+            // track leases, the cluster's per-launch spans) is not
+            // serialized: re-lease and re-open spans at the restore
+            // point so the traced tail matches a straight traced run.
+            if (trace_) {
+                trace_->setNow(cycle_);
+                sc_.rearmTrace();
+                clusters_.rearmTrace();
+            }
         }
     }
     const uint64_t ckptEvery = cfg_.checkpointEveryCycles;
@@ -384,6 +403,52 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
                         sc_.quiescent() && !clusters_.busy();
         if (finished)
             break;
+        // --- sampled-fidelity fold (DESIGN.md section 12) --------------
+        // The cluster loop sits on a fold-region arm: fold the region
+        // analytically, then advance the rest of the machine across the
+        // returned wall span with a bounded tick/idle-jump loop, so
+        // overlapped memory transfers and host issue progress by
+        // exactly the folded cycles.
+        if (clusters_.foldArmed()) {
+            if (trace_)
+                trace_->setNow(cycle_);
+            Cycle foldFrom = cycle_;
+            uint64_t foldSpan = clusters_.executeFold();
+            Cycle target = cycle_ + foldSpan;
+            while (cycle_ < target) {
+                if (trace_)
+                    trace_->setNow(cycle_);
+                host_.tick(cycle_);
+                sc_.tick(cycle_);
+                mem_.tick(cycle_);
+                srf_.tick();
+                ++cycle_;
+                Cycle now = cycle_ - 1;
+                Cycle h = std::min(
+                    mem_.nextEventAfter(now),
+                    std::min(sc_.nextEventAfter(now),
+                             std::min(srf_.nextEventAfter(now),
+                                      host_.nextEventAfter(now))));
+                h = std::min(h, target);
+                if (h <= cycle_)
+                    continue;
+                uint64_t idle = h - cycle_;
+                host_.skipIdle(cycle_, idle);
+                sc_.skipIdle(cycle_, idle);
+                mem_.skipIdle(cycle_, idle);
+                srf_.skipIdle(cycle_, idle);
+                cycle_ = h;
+            }
+            if (trace_)
+                trace_->mergeSpan(engineTrack_, foldFrom, cycle_,
+                                  "sampled-fold", foldSpan);
+            lastMetric = progress();
+            lastProgress = cycle_;
+            skipHold = false;
+            if (cycle_ - start >= cycleLimit)
+                throwLimit();
+            continue;
+        }
         if (trace_)
             trace_->setNow(cycle_);
         host_.tick(cycle_);
@@ -549,6 +614,17 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
         r.faultTrace.assign(t.begin() + static_cast<long>(trace0),
                             t.end());
     }
+    // The *effective* tier: a Sampled config forced to full fidelity
+    // (faults, checkpoints, restore) reports Cycle and emits exactly
+    // the full-fidelity JSON.
+    r.fidelity = sampled ? Fidelity::Sampled : Fidelity::Cycle;
+    if (sampled) {
+        r.sampleLoopFraction = cfg_.sampleLoopFraction;
+        r.kernelFolds = clusters_.drainFoldReport();
+        for (const KernelFoldRecord &k : r.kernelFolds)
+            r.estimatedCycles += k.foldedCycles;
+        clusters_.setSampling(false, cfg_.sampleLoopFraction);
+    }
 
     // --- Fig. 11 attribution -------------------------------------------
     ExecBreakdown &bd = r.breakdown;
@@ -676,6 +752,30 @@ RunResult::toJson() const
                       static_cast<unsigned>(e.mask));
     }
     out += "]";
+    // Present only under the sampled tier: Cycle-fidelity output stays
+    // byte-identical to builds without the sampled tier.
+    if (fidelity == Fidelity::Sampled) {
+        out += strfmt(",\"fidelity\":{\"tier\":\"sampled\","
+                      "\"sampleLoopFraction\":%.17g,"
+                      "\"estimatedCycles\":%llu,\"kernels\":[",
+                      sampleLoopFraction,
+                      static_cast<unsigned long long>(estimatedCycles));
+        for (size_t i = 0; i < kernelFolds.size(); ++i) {
+            const KernelFoldRecord &k = kernelFolds[i];
+            if (i)
+                out += ',';
+            out += strfmt(
+                "{\"name\":\"%s\",\"launches\":%llu,"
+                "\"foldedIters\":%llu,\"foldedCycles\":%llu,"
+                "\"errorBound\":%.17g}",
+                k.name.c_str(),
+                static_cast<unsigned long long>(k.launches),
+                static_cast<unsigned long long>(k.foldedIters),
+                static_cast<unsigned long long>(k.foldedCycles),
+                k.errorBound);
+        }
+        out += "]}";
+    }
     // Appended last so trace-off output is the exact prefix of trace-on
     // output: tests strip at ,"trace": to assert bit-identity.
     if (trace)

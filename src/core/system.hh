@@ -109,6 +109,18 @@ struct RunResult
     /** Clusters-idle cycles of this run, by IdleCause. */
     uint64_t idleCycles[5] = {};
 
+    // Sampled-fidelity accounting (DESIGN.md section 12).  All zero /
+    // empty under Fidelity::Cycle, whose toJson() output stays
+    // byte-identical to builds without the sampled tier.
+    Fidelity fidelity = Fidelity::Cycle;
+    /** Sampled only: cfg.sampleLoopFraction in effect for this run. */
+    double sampleLoopFraction = 0.0;
+    /** Sampled only: wall cycles folded analytically (estimated share
+     *  of `cycles`; the rest executed cycle-accurately). */
+    uint64_t estimatedCycles = 0;
+    /** Sampled only: per-kernel fold accounting with error bounds. */
+    std::vector<KernelFoldRecord> kernelFolds;
+
     /**
      * JSON encoding of the whole result (metrics, Fig. 11 breakdown,
      * per-component stats).  Schema documented in README.md.

@@ -66,6 +66,39 @@ StreamController::setTrace(trace::TraceSink *sink)
 }
 
 void
+StreamController::rearmTrace()
+{
+    if (!trace_)
+        return;
+    slotTrackBusy_.assign(slotTracks_.size(), 0);
+    for (Slot &s : slots_) {
+        if (!s.instr)
+            continue;
+        for (size_t i = 0; i < slotTrackBusy_.size(); ++i) {
+            if (slotTrackBusy_[i])
+                continue;
+            slotTrackBusy_[i] = 1;
+            s.traceTrack = static_cast<int16_t>(i);
+            const char *stage;
+            switch (s.state) {
+              case SlotState::Waiting:
+                stage = depsSatisfied(s) ? "res" : "dep";
+                break;
+              case SlotState::NeedUcode: stage = "ucode"; break;
+              case SlotState::Issuing: stage = "issue"; break;
+              case SlotState::Running: stage = "run"; break;
+              default: stage = "stuck"; break;
+            }
+            s.traceStage = stage;
+            trace_->openSpan(slotTracks_[i], trace_->now(), stage,
+                             s.idx,
+                             static_cast<uint64_t>(s.instr->kind));
+            break;
+        }
+    }
+}
+
+void
 StreamController::beginProgram(const StreamProgram &program)
 {
     IMAGINE_ASSERT(slots_.empty(), "beginProgram with busy scoreboard");

@@ -121,6 +121,15 @@ class StreamController : public Component
     /** Attach the session trace sink (null by default: hooks dead). */
     void setTrace(trace::TraceSink *sink);
 
+    /**
+     * Re-lease slot trace tracks after a checkpoint restore: the slot
+     * lease (traceTrack/traceStage) is not serialized, so restored
+     * scoreboard slots would otherwise never emit stage spans again.
+     * Opens each occupied slot's current stage span at the sink's
+     * current time.
+     */
+    void rearmTrace();
+
   private:
     enum class SlotState : uint8_t
     {

@@ -21,6 +21,20 @@
 namespace imagine
 {
 
+/**
+ * Simulation fidelity tier.  Cycle runs every cluster cycle; Sampled
+ * executes each kernel launch's prologue, epilogue and a stratified
+ * sample of steady-state loop iterations cycle-accurately and
+ * fast-forwards the rest analytically (II x skipped trips), trading a
+ * bounded cycle-count error for a large wall-clock speedup
+ * (DESIGN.md section 12).
+ */
+enum class Fidelity : uint8_t
+{
+    Cycle,      ///< full cycle-accurate execution (the default)
+    Sampled     ///< strided steady-state sampling + analytic fold
+};
+
 /** Error protection modeled on a storage array. */
 enum class EccMode : uint8_t
 {
@@ -218,6 +232,24 @@ struct MachineConfig
      * bound, so long traced runs degrade gracefully.
      */
     uint64_t traceMaxEvents = 1'000'000;
+    /**
+     * Fidelity tier (DESIGN.md section 12).  Sampled keeps stream data
+     * movement, issued-op mix and SRF occupancy exact while folding
+     * most steady-state loop iterations analytically; cycle counts and
+     * stall attribution become estimates with a per-kernel error bound
+     * reported in RunResult.  Launches with armed fault sites, an
+     * active checkpoint window, data-dependent loop output (conditional
+     * streams) or short loops fall back to full fidelity automatically.
+     * Cycle (the default) is bit-identical to builds without this tier.
+     */
+    Fidelity fidelity = Fidelity::Cycle;
+    /**
+     * Sampled tier only: the target fraction of each launch's
+     * steady-state loop iterations to execute cycle-accurately
+     * (clamped to a small per-launch minimum spread over head, middle
+     * and tail strata).  The rest are folded analytically.
+     */
+    double sampleLoopFraction = 0.05;
     /**
      * Periodic checkpointing (DESIGN.md section 11): every this many
      * cycles of a run, serialize full machine state to checkpointPath.

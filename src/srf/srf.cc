@@ -255,6 +255,249 @@ Srf::outAppendPos(int client) const
     return at(client).produced;
 }
 
+void
+Srf::warpInRow(int client, uint32_t first, uint32_t stride, Word *dst)
+{
+    Client &c = at(client);
+    IMAGINE_ASSERT(c.isIn, "warpInRow on output client");
+    uint32_t last = first + (numClusters - 1) * stride;
+    IMAGINE_ASSERT(first >= c.base && last < c.base + c.windowWords,
+                   "SRF warp consume of row [%u, %u] outside window "
+                   "[%u, %u)",
+                   first, last, c.base, c.base + c.windowWords);
+    IMAGINE_ASSERT(last < c.length,
+                   "SRF warp consume of row [%u, %u] past stream end %u",
+                   first, last, c.length);
+    if (last >= c.fetched) {
+        // Fetch inline what the arbiter would have streamed by now.
+        stats_.wordsTransferred += last + 1 - c.fetched;
+        c.fetched = last + 1;
+    }
+    const Word *src = &data_[c.offset];
+    for (int l = 0; l < numClusters; ++l) {
+        uint32_t elem = first + static_cast<uint32_t>(l) * stride;
+        IMAGINE_ASSERT(!c.window[elem % c.windowWords],
+                       "SRF element %u consumed twice", elem);
+        dst[l] = src[elem];
+        c.window[elem % c.windowWords] = 1;
+    }
+    while (c.base < c.fetched && c.window[c.base % c.windowWords]) {
+        c.window[c.base % c.windowWords] = 0;
+        ++c.base;
+    }
+    updateMovable(c);
+}
+
+void
+Srf::warpOutRow(int client, uint32_t first, uint32_t stride,
+                const Word *vals)
+{
+    Client &c = at(client);
+    IMAGINE_ASSERT(!c.isIn, "warpOutRow on input client");
+    uint32_t last = first + (numClusters - 1) * stride;
+    // Catch the arbiter up just far enough: drain the contiguous
+    // present run at base only until the row fits in the space window
+    // (during the folded cycles the arbiter would have moved at least
+    // this much).  Draining more would leave the window emptier than
+    // steady-state execution ever sees and bias the next stall-rate
+    // measurement stratum.
+    uint32_t drained = 0;
+    while (c.base + c.windowWords <= last && c.base < c.produced &&
+           c.window[c.base % c.windowWords]) {
+        c.window[c.base % c.windowWords] = 0;
+        ++c.base;
+        ++drained;
+    }
+    IMAGINE_ASSERT(first >= c.base && last < c.base + c.windowWords,
+                   "SRF warp produce of row [%u, %u] outside window at "
+                   "base %u",
+                   first, last, c.base);
+    IMAGINE_ASSERT(c.offset + last < size_,
+                   "stream overflow: element %u of stream at %u", last,
+                   c.offset);
+    Word *arr = &data_[c.offset];
+    for (int l = 0; l < numClusters; ++l) {
+        uint32_t elem = first + static_cast<uint32_t>(l) * stride;
+        IMAGINE_ASSERT(!c.window[elem % c.windowWords],
+                       "SRF element %u produced twice", elem);
+        arr[elem] = vals[l];
+        c.window[elem % c.windowWords] = 1;
+    }
+    c.produced = std::max(c.produced, last + 1);
+    stats_.wordsTransferred += drained;
+    updateMovable(c);
+}
+
+void
+Srf::warpInBulk(int client, uint32_t rec, const WarpRange *ops, size_t n)
+{
+    Client &c = at(client);
+    IMAGINE_ASSERT(c.isIn, "warpInBulk on output client");
+    const uint32_t rowWords = static_cast<uint32_t>(numClusters) * rec;
+    // Per-record-word consumed-row frontier (exclusive).  Every record
+    // word must be covered by exactly one op, or real execution could
+    // never sweep the window past it.
+    std::vector<uint32_t> hi(rec, UINT32_MAX);
+    for (size_t i = 0; i < n; ++i) {
+        IMAGINE_ASSERT(ops[i].elemIdx < rec &&
+                           hi[ops[i].elemIdx] == UINT32_MAX,
+                       "bulk In coverage of record word %u",
+                       ops[i].elemIdx);
+        IMAGINE_ASSERT(ops[i].rowHi > ops[i].rowLo,
+                       "empty bulk In row range");
+        hi[ops[i].elemIdx] = ops[i].rowHi;
+    }
+    uint32_t rMin = UINT32_MAX;
+    uint64_t maxLast = 0;
+    for (uint32_t e = 0; e < rec; ++e) {
+        IMAGINE_ASSERT(hi[e] != UINT32_MAX,
+                       "record word %u not covered by any loop In op", e);
+        rMin = std::min(rMin, hi[e]);
+        maxLast = std::max(
+            maxLast, static_cast<uint64_t>(hi[e] - 1) * rowWords +
+                         static_cast<uint32_t>(numClusters - 1) * rec + e);
+    }
+    IMAGINE_ASSERT(maxLast < c.length,
+                   "bulk consume past stream end %u", c.length);
+    // Fetch frontier and word count exactly as the per-row replay's
+    // inline fetches would accumulate them (monotone max of row ends).
+    const uint32_t fetched2 = static_cast<uint32_t>(maxLast) + 1;
+    if (fetched2 > c.fetched) {
+        stats_.wordsTransferred += fetched2 - c.fetched;
+        c.fetched = fetched2;
+    }
+    // Post-sweep base: the first word of the lowest not-fully-consumed
+    // row whose record word is still unconsumed.
+    uint32_t base2 = rMin * rowWords;
+    for (uint32_t e = 0; e < rec; ++e) {
+        if (hi[e] == rMin) {
+            base2 += e;
+            break;
+        }
+    }
+    IMAGINE_ASSERT(base2 >= c.base, "bulk consume behind base %u", c.base);
+    c.base = base2;
+    // Each ring slot holds the flag of its unique word in
+    // [base, base + windowWords); set = consumed but not yet swept.
+    for (uint32_t k = 0; k < c.windowWords; ++k) {
+        uint32_t w = base2 + k;
+        c.window[w % c.windowWords] = (w / rowWords) < hi[w % rec] ? 1 : 0;
+    }
+    updateMovable(c);
+}
+
+void
+Srf::warpOutBulk(int client, uint32_t rec, const WarpRange *ops, size_t n,
+                 const Word *tiles, uint32_t tileRows)
+{
+    Client &c = at(client);
+    IMAGINE_ASSERT(!c.isIn, "warpOutBulk on input client");
+    IMAGINE_ASSERT(tileRows && (tileRows & (tileRows - 1)) == 0,
+                   "tileRows %u not a power of two", tileRows);
+    const uint32_t rowWords = static_cast<uint32_t>(numClusters) * rec;
+    std::vector<uint32_t> hi(rec, UINT32_MAX);
+    uint64_t maxLast = 0;
+    for (size_t i = 0; i < n; ++i) {
+        IMAGINE_ASSERT(ops[i].elemIdx < rec &&
+                           hi[ops[i].elemIdx] == UINT32_MAX,
+                       "bulk Out coverage of record word %u",
+                       ops[i].elemIdx);
+        IMAGINE_ASSERT(ops[i].rowHi > ops[i].rowLo,
+                       "empty bulk Out row range");
+        hi[ops[i].elemIdx] = ops[i].rowHi;
+        maxLast = std::max(
+            maxLast,
+            static_cast<uint64_t>(ops[i].rowHi - 1) * rowWords +
+                static_cast<uint32_t>(numClusters - 1) * rec +
+                ops[i].elemIdx);
+    }
+    for (uint32_t e = 0; e < rec; ++e)
+        IMAGINE_ASSERT(hi[e] != UINT32_MAX,
+                       "record word %u not covered by any loop Out op", e);
+    IMAGINE_ASSERT(c.offset + maxLast < size_,
+                   "stream overflow: element %u of stream at %u",
+                   static_cast<uint32_t>(maxLast), c.offset);
+    // Synthesize the folded region's data: tile each op's producer
+    // value-ring rows across its row range (row r uses ring slot
+    // r & (tileRows - 1)), matching what the per-row replay re-emits.
+    Word *arr = &data_[c.offset];
+    for (size_t i = 0; i < n; ++i) {
+        const WarpRange &r = ops[i];
+        const Word *tile =
+            tiles + i * tileRows * static_cast<uint32_t>(numClusters);
+        for (uint32_t row = r.rowLo; row < r.rowHi; ++row) {
+            const Word *src =
+                tile + (row & (tileRows - 1)) *
+                           static_cast<uint32_t>(numClusters);
+            Word *dst = arr + static_cast<uint64_t>(row) * rowWords +
+                        r.elemIdx;
+            for (int l = 0; l < numClusters; ++l)
+                dst[static_cast<uint32_t>(l) * rec] = src[l];
+        }
+    }
+    // Drain point exactly as the per-row replay's minimal pre-drains
+    // would leave it: the final base is set by the largest row end.
+    const uint32_t produced2 = static_cast<uint32_t>(maxLast) + 1;
+    uint32_t base2 = c.base;
+    if (produced2 > c.windowWords)
+        base2 = std::max(base2, produced2 - c.windowWords);
+    stats_.wordsTransferred += base2 - c.base;
+    c.base = base2;
+    c.produced = std::max(c.produced, produced2);
+    // Ring slots: set = produced but not yet drained.
+    for (uint32_t k = 0; k < c.windowWords; ++k) {
+        uint32_t w = base2 + k;
+        c.window[w % c.windowWords] = (w / rowWords) < hi[w % rec] ? 1 : 0;
+    }
+    updateMovable(c);
+}
+
+uint32_t
+Srf::warpInSlack(int client) const
+{
+    const Client &c = at(client);
+    IMAGINE_ASSERT(c.isIn, "warpInSlack on output client");
+    return c.fetched - c.base;
+}
+
+uint32_t
+Srf::warpOutBacklog(int client) const
+{
+    const Client &c = at(client);
+    IMAGINE_ASSERT(!c.isIn, "warpOutBacklog on input client");
+    return c.produced - c.base;
+}
+
+void
+Srf::warpInTopUp(int client, uint32_t slackWords)
+{
+    Client &c = at(client);
+    IMAGINE_ASSERT(c.isIn, "warpInTopUp on output client");
+    uint32_t target =
+        std::min({c.length, c.base + c.windowWords, c.base + slackWords});
+    if (target > c.fetched) {
+        stats_.wordsTransferred += target - c.fetched;
+        c.fetched = target;
+    }
+    updateMovable(c);
+}
+
+void
+Srf::warpOutSettle(int client, uint32_t backlogWords)
+{
+    Client &c = at(client);
+    IMAGINE_ASSERT(!c.isIn, "warpOutSettle on input client");
+    uint32_t drained = 0;
+    while (c.base + backlogWords < c.produced &&
+           c.window[c.base % c.windowWords]) {
+        c.window[c.base % c.windowWords] = 0;
+        ++c.base;
+        ++drained;
+    }
+    stats_.wordsTransferred += drained;
+    updateMovable(c);
+}
+
 bool
 Srf::outDrained(int client) const
 {

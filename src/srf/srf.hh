@@ -121,6 +121,83 @@ class Srf : public Component
     /** Conditional-stream append position (next element index). */
     uint32_t outAppendPos(int client) const;
 
+    // --- sampled-fidelity bulk paths (DESIGN.md section 12) -------------
+    /**
+     * One stream op's row range inside a folded region: the op covers
+     * record word @p elemIdx and has processed rows [rowLo, rowHi).
+     */
+    struct WarpRange
+    {
+        uint32_t elemIdx;
+        uint32_t rowLo;
+        uint32_t rowHi;
+    };
+    /**
+     * Closed-form bulk advance of an input client across a folded
+     * region: equivalent to replaying warpInRow for every row of every
+     * op in @p ops (each op consumes record word elemIdx of rows
+     * [rowLo, rowHi)), but O(windowWords) instead of O(rows).  The ops
+     * must cover every record word exactly once - the full-coverage
+     * property any working kernel loop has.  Word counts, base/fetched
+     * frontiers and the window flag pattern land exactly where the
+     * per-row replay would leave them.
+     */
+    void warpInBulk(int client, uint32_t rec, const WarpRange *ops,
+                    size_t n);
+    /**
+     * Closed-form bulk advance of an output client: equivalent to
+     * replaying warpOutRow for every row, with the folded region's
+     * data synthesized by tiling each op's @p tiles slice (tileRows
+     * value-ring rows x 8 lanes, row r uses slice r & (tileRows - 1)).
+     * Counters, produced/base frontiers and window flags are exact;
+     * the folded *data* holds representative ring values, like the
+     * per-row replay's re-emitted rows.
+     */
+    void warpOutBulk(int client, uint32_t rec, const WarpRange *ops,
+                     size_t n, const Word *tiles, uint32_t tileRows);
+    /**
+     * Fold-time variant of inConsumeRow: if part of the row has not yet
+     * streamed into the buffer, the fetch is performed inline (counted
+     * in wordsTransferred, exactly the words the arbiter would have
+     * moved).  Consume order during a fold is identical to real
+     * execution, so the buffer-window invariants carry over unchanged.
+     */
+    void warpInRow(int client, uint32_t first, uint32_t stride,
+                   Word *dst);
+    /**
+     * Fold-time variant of outProduceRow: the row is written to the
+     * array, draining just enough of the contiguous present run (as
+     * the arbiter would have during the folded cycles, counted in
+     * wordsTransferred) to make window space.  Fault injection is
+     * skipped - folds are ineligible under armed faults.
+     */
+    void warpOutRow(int client, uint32_t first, uint32_t stride,
+                    const Word *vals);
+    /**
+     * Buffer occupancy ahead of the consume point (fetched - base).
+     * Captured at fold entry so the fold can restore the steady-state
+     * occupancy on exit instead of a buffer-rich window that would
+     * bias the next stall-rate measurement stratum.
+     */
+    uint32_t warpInSlack(int client) const;
+    /** Produced-but-undrained words (produced - base), same purpose. */
+    uint32_t warpOutBacklog(int client) const;
+    /**
+     * After a fold, refill an input client's availability window to
+     * @p slackWords ahead of the consume point - the steady-state
+     * occupancy captured at fold entry - counting the refill in
+     * wordsTransferred.
+     */
+    void warpInTopUp(int client, uint32_t slackWords);
+    /**
+     * After a fold, drain an output client down to @p backlogWords
+     * undrained words - the steady-state backlog captured at fold
+     * entry - counting the drain in wordsTransferred.
+     */
+    void warpOutSettle(int client, uint32_t backlogWords);
+    /** Credit estimated arbiter busy cycles for a folded region. */
+    void warpAddBusy(uint64_t cycles) { stats_.busyCycles += cycles; }
+
     /** Advance one cycle: the arbiter moves words between array/buffers. */
     void tick();
 

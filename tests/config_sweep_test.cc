@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
 
+#include "sweep_shapes.hh"
 #include "core/system.hh"
 #include "kernels/conv.hh"
 #include "kernels/sad.hh"
@@ -25,12 +27,13 @@ namespace
 
 /** Run conv7x7 end-to-end under @p cfg; validate against golden. */
 RunResult
-convRun(const MachineConfig &cfg, bool *ok)
+convRun(const MachineConfig &cfg, bool *ok, uint32_t n = 1024)
 {
     const std::array<int16_t, 7> c7{1, 2, 3, 4, 3, 2, 1};
     ImagineSystem sys(cfg);
     uint16_t kid = sys.registerKernel(conv7x7(c7, c7, 8));
-    const uint32_t n = 1024;
+    const Addr storeBase =
+        std::max<Addr>(100000, static_cast<Addr>(8) * n);
     Rng rng(5);
     std::vector<std::vector<Word>> rows(7);
     for (auto &r : rows) {
@@ -51,7 +54,7 @@ convRun(const MachineConfig &cfg, bool *ok)
     }
     uint32_t outOff = b.alloc(n);
     b.kernel(kid, ins, {b.sdr(outOff, n)});
-    b.store(b.marStride(100000), b.sdr(outOff, n));
+    b.store(b.marStride(storeBase), b.sdr(outOff, n));
     StreamProgram prog = b.take();
     RunResult r = sys.run(prog);
 
@@ -65,7 +68,7 @@ convRun(const MachineConfig &cfg, bool *ok)
                 strips[t].push_back(rows[t][i]);
         auto golden = convSeparableGoldenStrip(strips, cv, cv, 8);
         for (size_t i = 0; i < golden.size(); ++i) {
-            if (sys.memory().readWord(100000 + i * numClusters +
+            if (sys.memory().readWord(storeBase + i * numClusters +
                                       static_cast<Addr>(lane)) !=
                 golden[i]) {
                 *ok = false;
@@ -76,78 +79,15 @@ convRun(const MachineConfig &cfg, bool *ok)
     return r;
 }
 
-struct SweepCase
-{
-    const char *name;
-    MachineConfig cfg;
-};
+// The machine-shape list is shared with the bench binaries' sweeps
+// (bench/sweep_shapes.hh); "case 0 is the baseline, 1 the one-adder
+// machine" assumptions below follow its order.
+using SweepCase = bench::MachineShape;
 
 std::vector<SweepCase>
 sweepCases()
 {
-    std::vector<SweepCase> cases;
-    auto base = MachineConfig::devBoard();
-    cases.push_back({"baseline", base});
-    {
-        auto c = base;
-        c.numAdders = 1;
-        cases.push_back({"one_adder", c});
-    }
-    {
-        auto c = base;
-        c.numAdders = 6;
-        c.numMultipliers = 4;
-        cases.push_back({"wide_cluster", c});
-    }
-    {
-        auto c = base;
-        c.sbInPorts = 1;
-        c.sbOutPorts = 1;
-        cases.push_back({"one_sb_port", c});
-    }
-    {
-        auto c = base;
-        c.latFpAdd = 7;
-        c.latFpMul = 9;
-        c.latIntMul = 6;
-        cases.push_back({"slow_fus", c});
-    }
-    {
-        auto c = base;
-        c.srfBandwidthWordsPerCycle = 4;
-        cases.push_back({"narrow_srf", c});
-    }
-    {
-        auto c = base;
-        c.streamBufferWords = 4;
-        cases.push_back({"tiny_stream_buffers", c});
-    }
-    {
-        auto c = base;
-        c.numChannels = 2;
-        cases.push_back({"two_channels", c});
-    }
-    {
-        auto c = base;
-        c.scoreboardSlots = 2;
-        cases.push_back({"tiny_scoreboard", c});
-    }
-    {
-        auto c = base;
-        c.hostMips = 0.25;
-        cases.push_back({"slow_host", c});
-    }
-    {
-        auto c = base;
-        c.latSubword = 5;
-        c.latComm = 6;
-        cases.push_back({"slow_media_ops", c});
-    }
-    {
-        auto c = MachineConfig::isim();
-        cases.push_back({"isim", c});
-    }
-    return cases;
+    return bench::machineShapes();
 }
 
 struct SweepResult
@@ -220,6 +160,37 @@ TEST(ConfigSweepTest, FasterUnitsNeverHurt)
     });
     EXPECT_TRUE(ok[0] && ok[1]);
     EXPECT_GE(cycles[0], cycles[1]);
+}
+
+TEST(ConfigSweepTest, SampledTierTracksCycleAcrossShapes)
+{
+    // The design-space-exploration use of the sampled tier (DESIGN.md
+    // section 12): the same shape sweep at a fold-eligible trip, both
+    // fidelity tiers batched over one SimBatch.  The sampled tier's
+    // folded output data is representative rather than exact, so the
+    // gate here is the cycle error against the Cycle arm, not golden
+    // validation.
+    std::vector<SweepCase> shapes = sweepCases();
+    const uint32_t n = 65536;       // trip 8192: well past fold floor
+    SimBatch batch;
+    std::vector<RunResult> rs = batch.run(
+        static_cast<int>(2 * shapes.size()), [&](int i) {
+            MachineConfig cfg = shapes[static_cast<size_t>(i / 2)].cfg;
+            cfg.srfSizeWords = 1u << 20;    // the long streams fit
+            cfg.fidelity =
+                (i & 1) ? Fidelity::Sampled : Fidelity::Cycle;
+            bool ok = false;
+            return convRun(cfg, &ok, n);
+        });
+    for (size_t s = 0; s < shapes.size(); ++s) {
+        const RunResult &cyc = rs[2 * s];
+        const RunResult &smp = rs[2 * s + 1];
+        EXPECT_GT(smp.estimatedCycles, 0u) << shapes[s].name;
+        double err = std::fabs(static_cast<double>(smp.cycles) -
+                               static_cast<double>(cyc.cycles)) /
+                     static_cast<double>(cyc.cycles);
+        EXPECT_LT(err, 0.02) << shapes[s].name;
+    }
 }
 
 TEST(ConfigSweepTest, SadSearchSurvivesNarrowSrf)
