@@ -20,6 +20,13 @@
  *                           error bounds
  *   --sample-fraction=F     sampled tier only: fraction of steady-state
  *                           iterations to execute cycle-accurately
+ *   --remote=HOST:PORT      after the local run, replay the same
+ *                           request on an isimd (also unix:PATH) and
+ *                           require the returned result JSON to be
+ *                           byte-identical to the local run; exits 1
+ *                           on any divergence.  File-path knobs
+ *                           (--trace/--checkpoint/--restore) name
+ *                           paths on the daemon's filesystem.
  *
  * Each example keeps its own positional arguments; this header only
  * owns the machine-level flags so all four apps expose the same knobs.
@@ -31,7 +38,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
+#include "service/client.hh"
+#include "service/json.hh"
 #include "sim/config.hh"
 
 namespace imagine::examples
@@ -43,6 +53,7 @@ struct ExampleFlags
     const char *tracePath = nullptr;
     uint64_t seed = 0;
     bool seedSet = false;
+    const char *remote = nullptr;   ///< isimd address, or null
 };
 
 /**
@@ -130,6 +141,10 @@ parseExampleFlag(const char *arg, MachineConfig &mc, ExampleFlags &fl)
         }
         return true;
     }
+    if (const char *v = val("--remote=")) {
+        fl.remote = v;
+        return true;
+    }
     if (const char *v = val("--sample-fraction=")) {
         char *end = nullptr;
         mc.sampleLoopFraction = std::strtod(v, &end);
@@ -144,6 +159,115 @@ parseExampleFlag(const char *arg, MachineConfig &mc, ExampleFlags &fl)
         return true;
     }
     return false;
+}
+
+/**
+ * --remote verification: replay this run on the isimd at
+ * @p fl.remote with the same preset, seed, machine overrides and app
+ * params, and require the returned result to be byte-identical to
+ * @p localJson (the local run's RunResult::toJson()).  Only fields the
+ * shared flags can change are sent as overrides, computed by diffing
+ * @p mc against the devBoard baseline every example starts from.
+ * Returns true on a byte-exact match; prints a diagnostic to stderr
+ * and returns false otherwise.
+ */
+inline bool
+verifyRemote(const ExampleFlags &fl, const MachineConfig &mc,
+             const char *workload, const std::string &paramsJson,
+             const std::string &localJson)
+{
+    const MachineConfig base = MachineConfig::devBoard();
+    std::string config;
+    auto add = [&](const std::string &member) {
+        config += (config.empty() ? "" : ",") + member;
+    };
+    auto num = [](double d) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", d);
+        return std::string(buf);
+    };
+    auto onOff = [](bool b) { return b ? "true" : "false"; };
+    auto eccName = [](EccMode m) {
+        switch (m) {
+        case EccMode::Secded: return "secded";
+        case EccMode::Parity: return "parity";
+        default: return "none";
+        }
+    };
+    if (mc.eventDriven != base.eventDriven)
+        add(std::string("\"eventDriven\":") + onOff(mc.eventDriven));
+    if (mc.trace != base.trace)
+        add(std::string("\"trace\":") + onOff(mc.trace));
+    if (mc.fidelity != base.fidelity)
+        add("\"fidelity\":\"sampled\"");
+    if (mc.sampleLoopFraction != base.sampleLoopFraction)
+        add("\"sampleLoopFraction\":" + num(mc.sampleLoopFraction));
+    if (mc.checkpointEveryCycles != base.checkpointEveryCycles)
+        add("\"checkpointEveryCycles\":" +
+            std::to_string(mc.checkpointEveryCycles));
+    if (mc.checkpointPath != base.checkpointPath)
+        add("\"checkpointPath\":" +
+            service::json::quote(mc.checkpointPath));
+    if (mc.restorePath != base.restorePath)
+        add("\"restorePath\":" + service::json::quote(mc.restorePath));
+    if (mc.faults.enabled != base.faults.enabled)
+        add(std::string("\"faults.enabled\":") +
+            onOff(mc.faults.enabled));
+    if (mc.faults.enabled) {
+        add("\"faults.srfFlipRate\":" + num(mc.faults.srfFlipRate));
+        add("\"faults.dramFlipRate\":" + num(mc.faults.dramFlipRate));
+        add("\"faults.ucodeCorruptRate\":" +
+            num(mc.faults.ucodeCorruptRate));
+        add("\"faults.stuckSlotRate\":" + num(mc.faults.stuckSlotRate));
+        add("\"faults.agStallRate\":" + num(mc.faults.agStallRate));
+        add("\"faults.agStallBurstCycles\":" +
+            std::to_string(mc.faults.agStallBurstCycles));
+        add("\"faults.maxRetries\":" +
+            std::to_string(mc.faults.maxRetries));
+        add(std::string("\"faults.srfEcc\":\"") +
+            eccName(mc.faults.srfEcc) + "\"");
+        add(std::string("\"faults.memEcc\":\"") +
+            eccName(mc.faults.memEcc) + "\"");
+    }
+    // The "seed" request member covers faults.seed; no diff needed.
+
+    std::string payload = std::string("{\"op\":\"run\",\"workload\":") +
+                          service::json::quote(workload) +
+                          ",\"preset\":\"devBoard\"";
+    if (fl.seedSet)
+        payload += ",\"seed\":" + std::to_string(fl.seed);
+    if (!config.empty())
+        payload += ",\"config\":{" + config + "}";
+    if (!paramsJson.empty())
+        payload += ",\"params\":" + paramsJson;
+    payload += "}";
+
+    try {
+        service::Client client(fl.remote);
+        std::string resp = client.call(payload);
+        if (resp.rfind("{\"ok\":true", 0) != 0) {
+            std::fprintf(stderr, "--remote=%s: request failed: %s\n",
+                         fl.remote, resp.c_str());
+            return false;
+        }
+        std::string remote = service::Client::extractResult(resp);
+        if (remote != localJson) {
+            std::fprintf(stderr,
+                         "--remote=%s: remote result is NOT "
+                         "byte-identical to the local run (%zu vs %zu "
+                         "bytes)\n",
+                         fl.remote, remote.size(), localJson.size());
+            return false;
+        }
+        std::fprintf(stderr,
+                     "--remote=%s: remote result byte-identical to the "
+                     "local run (%zu bytes)\n",
+                     fl.remote, localJson.size());
+        return true;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "--remote=%s: %s\n", fl.remote, e.what());
+        return false;
+    }
 }
 
 } // namespace imagine::examples

@@ -46,6 +46,13 @@ try {
     if (tracePath &&
         !trace::writePerfetto(*sys.traceSink(), tracePath))
         std::fprintf(stderr, "matrix_qr: cannot write %s\n", tracePath);
+    if (fl.remote &&
+        !examples::verifyRemote(
+            fl, mc, "qrd",
+            "{\"rows\":" + std::to_string(cfg.rows) +
+                ",\"cols\":" + std::to_string(cfg.cols) + "}",
+            r.run.toJson()))
+        return 1;
     if (json) {
         std::printf("%s\n", r.run.toJson().c_str());
         return r.validated ? 0 : 1;

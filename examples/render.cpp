@@ -40,6 +40,14 @@ try {
     if (tracePath &&
         !trace::writePerfetto(*sys.traceSink(), tracePath))
         std::fprintf(stderr, "render: cannot write %s\n", tracePath);
+    if (fl.remote &&
+        !examples::verifyRemote(
+            fl, mc, "rtsl",
+            "{\"screen\":" + std::to_string(cfg.screen) +
+                ",\"triangles\":" + std::to_string(cfg.triangles) +
+                ",\"batch\":" + std::to_string(cfg.batch) + "}",
+            r.run.toJson()))
+        return 1;
 
     if (json) {
         std::printf("%s\n", r.run.toJson().c_str());

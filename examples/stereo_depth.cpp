@@ -44,6 +44,15 @@ try {
         !trace::writePerfetto(*sys.traceSink(), tracePath))
         std::fprintf(stderr, "stereo_depth: cannot write %s\n",
                      tracePath);
+    if (fl.remote &&
+        !examples::verifyRemote(
+            fl, mc, "depth",
+            "{\"width\":" + std::to_string(cfg.width) +
+                ",\"height\":" + std::to_string(cfg.height) +
+                ",\"disparities\":" + std::to_string(cfg.disparities) +
+                "}",
+            r.run.toJson()))
+        return 1;
 
     if (json) {
         std::printf("%s\n", r.run.toJson().c_str());

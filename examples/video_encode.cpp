@@ -40,6 +40,14 @@ try {
         !trace::writePerfetto(*sys.traceSink(), tracePath))
         std::fprintf(stderr, "video_encode: cannot write %s\n",
                      tracePath);
+    if (fl.remote &&
+        !examples::verifyRemote(
+            fl, mc, "mpeg",
+            "{\"width\":" + std::to_string(cfg.width) +
+                ",\"height\":" + std::to_string(cfg.height) +
+                ",\"frames\":" + std::to_string(cfg.frames) + "}",
+            r.run.toJson()))
+        return 1;
 
     if (json) {
         std::printf("%s\n", r.run.toJson().c_str());

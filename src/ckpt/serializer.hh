@@ -48,7 +48,10 @@ namespace ckpt
 
 /** File magic ("IMCK") and current format version. */
 inline constexpr uint32_t kMagic = 0x4b434d49u;
-inline constexpr uint32_t kVersion = 1;
+/** v2: the "run" section carries stat names so restore is name-matched
+ *  (a trace-on session may restore a trace-off checkpoint and vice
+ *  versa; see ImagineSystem::restoreCheckpoint). */
+inline constexpr uint32_t kVersion = 2;
 
 /**
  * Pointer-resolution context threaded through save/load: components

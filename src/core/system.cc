@@ -365,6 +365,7 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
                 trace_->setNow(cycle_);
                 sc_.rearmTrace();
                 clusters_.rearmTrace();
+                mem_.rearmTrace();
             }
         }
     }
@@ -386,6 +387,16 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
     double wall0 = threadSeconds();
     try {
     while (true) {
+        // Cooperative cancellation lands at the same between-ticks
+        // boundary as periodic checkpoints: machine state is coherent
+        // here, so an aborted run could even be checkpointed and
+        // resumed later.  Relaxed load - the flag is a latch, and one
+        // extra iteration of slack is harmless.
+        if (abort_ && abort_->load(std::memory_order_relaxed))
+            throw SimError(
+                SimErrorKind::Canceled,
+                strfmt("run aborted by abort token at cycle %llu",
+                       static_cast<unsigned long long>(cycle_ - start)));
         // Periodic checkpoints are taken at the top of the loop - a
         // between-ticks point - so the file is resumable: restoring it
         // and re-entering the loop replays exactly the ticks the
@@ -566,8 +577,11 @@ ImagineSystem::run(const StreamProgram &program, bool playback,
         // report, next to the periodic file (which still holds the
         // last good interval).  Diagnostic only - taken mid-iteration,
         // so it is not resumable - and best-effort: a second failure
-        // while writing it must not mask the original error.
-        if (!cfg_.checkpointPath.empty()) {
+        // while writing it must not mask the original error.  A
+        // cancellation is not a crash: the machine is healthy and the
+        // periodic file already holds the last interval.
+        if (!cfg_.checkpointPath.empty() &&
+            e.kind() != SimErrorKind::Canceled) {
             try {
                 saveCheckpoint(cfg_.checkpointPath + ".crash", program,
                                playback, runIndex, start, lastProgress,
@@ -824,6 +838,13 @@ ImagineSystem::saveCheckpoint(const std::string &path,
     s.u64(lastProgress);
     s.b(skipHold);
     s.u64(trace0);
+    // Stat names travel with the values so a restoring session whose
+    // registry shape differs (different trace knobs register different
+    // stats) can match by name instead of position.
+    std::vector<std::string> statNames = stats_.names();
+    s.u64(statNames.size());
+    for (const std::string &n : statNames)
+        s.str(n);
     s.vec(before.values());
     s.vec(stats_.snapshot().values());
     s.section("host");
@@ -887,8 +908,25 @@ ImagineSystem::restoreCheckpoint(const std::string &path,
     lastProgress = d.u64();
     skipHold = d.b();
     trace0 = static_cast<size_t>(d.u64());
-    before = StatsSnapshot::fromValues(d.vec<uint64_t>());
-    StatsSnapshot current = StatsSnapshot::fromValues(d.vec<uint64_t>());
+    // Name-matched stats transfer: the writer's registry shape may
+    // differ from ours when engine-only knobs diverge - the headline
+    // case is fast-forwarding an untraced run to a region of interest,
+    // then restoring with cfg.trace on to pay the tracer's overhead
+    // only over the tail.  Stats the writer lacked (trace.*) keep
+    // their current value in `before`, so the run delta counts them
+    // from the restore point.
+    uint64_t nNames = d.u64();
+    if (nNames > (1u << 20))
+        throw SimError(SimErrorKind::Fatal,
+                       strfmt("checkpoint %s: implausible stat-name "
+                              "count %llu",
+                              path.c_str(),
+                              static_cast<unsigned long long>(nNames)));
+    std::vector<std::string> statNames(static_cast<size_t>(nNames));
+    for (std::string &n : statNames)
+        n = d.str();
+    std::vector<uint64_t> beforeVals = d.vec<uint64_t>();
+    std::vector<uint64_t> currentVals = d.vec<uint64_t>();
     d.section("host");
     host_.loadState(d);
     d.section("sc");
@@ -911,8 +949,10 @@ ImagineSystem::restoreCheckpoint(const std::string &path,
     if (inj_)
         inj_->loadState(d);
     // Every registered counter - component stats, fault stats, the
-    // idle-cause vector - restored in one pass through the registry.
-    stats_.restore(current);
+    // idle-cause vector - restored in one name-matched pass through
+    // the registry; saved names this session lacks are dropped.
+    before = stats_.mergeSnapshot(statNames, beforeVals);
+    stats_.restoreNamed(statNames, currentVals);
 }
 
 } // namespace imagine

@@ -18,6 +18,7 @@
 #define IMAGINE_CORE_SYSTEM_HH
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -187,6 +188,22 @@ class ImagineSystem
     const FaultInjector *faultInjector() const { return inj_.get(); }
 
     /**
+     * Cooperative cancellation: attach a non-owning abort flag that
+     * run() polls at its loop boundaries (the same between-ticks points
+     * where periodic checkpoints are taken).  Once the flag reads true,
+     * run() throws SimError(Canceled) promptly instead of finishing the
+     * program - the hook the service daemon's deadlines, per-job
+     * cancellation and drain are built on.  The flag may be set from
+     * any thread; a null pointer (the default) makes the check a dead
+     * branch.  Unlike a watchdog hang, a cancellation writes no crash
+     * snapshot: the machine is healthy, the caller just stopped caring.
+     */
+    void setAbortToken(const std::atomic<bool> *token)
+    {
+        abort_ = token;
+    }
+
+    /**
      * Observer called after every periodic checkpoint write with the
      * run-relative cycle of the boundary and the file just written.
      * Lets a harness archive each interval (the bisect driver renames
@@ -272,6 +289,7 @@ class ImagineSystem
     double runWallSeconds_ = 0.0;   ///< host time inside cycle loops
     uint64_t runCount_ = 0;         ///< run() calls so far (checkpoint meta)
     bool restoreConsumed_ = false;  ///< cfg.restorePath is one-shot
+    const std::atomic<bool> *abort_ = nullptr;  ///< cooperative cancel
     std::function<void(Cycle, const std::string &)> checkpointHook_;
 
     /** All components in tick order (engine-owned, session-lifetime). */

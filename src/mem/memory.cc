@@ -62,6 +62,22 @@ MemorySystem::setTrace(trace::TraceSink *sink)
 }
 
 void
+MemorySystem::rearmTrace()
+{
+    if (!trace_)
+        return;
+    for (size_t i = 0; i < ags_.size(); ++i) {
+        const AgState &st = ags_[i];
+        if (!st.active)
+            continue;
+        trace_->openSpan(agTracks_[i], trace_->now(),
+                         st.sink ? "ucode"
+                                 : (st.isLoad ? "load" : "store"),
+                         st.length);
+    }
+}
+
+void
 MemorySystem::startLoad(int ag, const Mar &mar, const Sdr &dst,
                         const Sdr *idx)
 {

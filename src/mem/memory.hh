@@ -114,6 +114,13 @@ class MemorySystem : public Component
 
     /** Attach the session trace sink (null by default: hooks dead). */
     void setTrace(trace::TraceSink *sink);
+    /**
+     * After a checkpoint restore: re-open the AG stream-op spans for
+     * transfers restored mid-flight (open spans are not serialized), so
+     * their traced tails appear instead of being silently dropped when
+     * the op completes against a track with nothing open.
+     */
+    void rearmTrace();
 
   private:
     struct Delivery

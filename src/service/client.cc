@@ -1,0 +1,137 @@
+#include "service/client.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/wire.hh"
+
+namespace imagine::service
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &why)
+{
+    throw std::runtime_error("isim client: " + why);
+}
+
+int
+connectSpec(const std::string &spec)
+{
+    if (spec.rfind("unix:", 0) == 0) {
+        std::string path = spec.substr(5);
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            fail(std::string("socket: ") + std::strerror(errno));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (path.size() >= sizeof(addr.sun_path)) {
+            ::close(fd);
+            fail("unix path too long: " + path);
+        }
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) < 0) {
+            int e = errno;
+            ::close(fd);
+            fail("connect(" + path + "): " + std::strerror(e));
+        }
+        return fd;
+    }
+    size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= spec.size())
+        fail("bad address \"" + spec + "\" (want HOST:PORT or "
+             "unix:PATH)");
+    std::string host = spec.substr(0, colon);
+    if (host == "localhost" || host.empty())
+        host = "127.0.0.1";
+    char *end = nullptr;
+    long port = std::strtol(spec.c_str() + colon + 1, &end, 10);
+    if (*end != '\0' || port < 1 || port > 65535)
+        fail("bad port in \"" + spec + "\"");
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fail(std::string("socket: ") + std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        fail("bad host \"" + host + "\" (numeric IPv4 only)");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        int e = errno;
+        ::close(fd);
+        fail("connect(" + spec + "): " + std::strerror(e));
+    }
+    return fd;
+}
+
+} // namespace
+
+Client::Client(const std::string &spec) : fd_(connectSpec(spec)) {}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+Client &
+Client::operator=(Client &&o) noexcept
+{
+    if (this != &o) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = o.fd_;
+        o.fd_ = -1;
+    }
+    return *this;
+}
+
+std::string
+Client::call(const std::string &payload)
+{
+    if (fd_ < 0)
+        fail("connection is closed");
+    if (!writeFrame(fd_, payload))
+        fail("request write failed (server gone?)");
+    std::string response;
+    WireStatus ws = readFrame(fd_, response);
+    if (ws != WireStatus::Ok)
+        fail(std::string("response read failed: ") +
+             wireStatusName(ws));
+    return response;
+}
+
+std::string
+Client::extractResult(const std::string &runResponse)
+{
+    // Only a successful run envelope carries a result, and only as the
+    // final member - the bytes up to the envelope's closing brace are
+    // the engine's toJson() output, untouched.
+    if (runResponse.rfind("{\"ok\":true,\"op\":\"run\"", 0) != 0)
+        return "";
+    const std::string marker = ",\"result\":";
+    size_t at = runResponse.find(marker);
+    if (at == std::string::npos || runResponse.empty() ||
+        runResponse.back() != '}')
+        return "";
+    size_t begin = at + marker.size();
+    return runResponse.substr(begin,
+                              runResponse.size() - 1 - begin);
+}
+
+} // namespace imagine::service

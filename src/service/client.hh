@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Blocking client for the simulation service: one connection, one
+ * request frame out, one response frame back.  Shared by the isimc
+ * CLI, the examples' --remote mode and bench/service_load.cc.
+ *
+ * Address syntax ("spec"): "HOST:PORT" for TCP, "unix:PATH" for a
+ * Unix-domain socket - the same forms isimd's --listen flag accepts.
+ *
+ * extractResult() recovers the engine's RunResult::toJson() bytes
+ * exactly as the server embedded them: the envelope keeps "result" as
+ * its final member, so the bytes between the "result": marker and the
+ * envelope's closing brace ARE the local-run JSON (the byte-identity
+ * contract the --remote examples and the load bench assert).
+ */
+
+#ifndef IMAGINE_SERVICE_CLIENT_HH
+#define IMAGINE_SERVICE_CLIENT_HH
+
+#include <string>
+
+namespace imagine::service
+{
+
+/** One blocking connection to an isimd. */
+class Client
+{
+  public:
+    /** Connect per the spec syntax above.
+     *  @throws std::runtime_error on connect failure */
+    explicit Client(const std::string &spec);
+    ~Client();
+
+    Client(Client &&o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+    Client &operator=(Client &&o) noexcept;
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Send one request payload, wait for the response payload.
+     * @throws std::runtime_error on wire failure (peer gone/garbled)
+     */
+    std::string call(const std::string &payload);
+
+    /**
+     * The verbatim "result" member of a successful run response; empty
+     * when the response is not a successful run envelope.
+     */
+    static std::string extractResult(const std::string &runResponse);
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace imagine::service
+
+#endif // IMAGINE_SERVICE_CLIENT_HH

@@ -1,0 +1,400 @@
+#include "service/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace imagine::service::json
+{
+
+namespace
+{
+
+/** Recursion cap: service requests are shallow; 64 is generous. */
+constexpr int kMaxDepth = 64;
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value
+    run()
+    {
+        Value v = value(0);
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw ParseError("json: " + why + " at offset " +
+                         std::to_string(pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(const char *lit)
+    {
+        for (const char *p = lit; *p; ++p)
+            if (pos_ >= text_.size() || text_[pos_++] != *p)
+                fail(std::string("bad literal (expected \"") + lit +
+                     "\")");
+    }
+
+    Value
+    value(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting too deep");
+        skipWs();
+        switch (peek()) {
+          case '{':
+            return object(depth);
+          case '[':
+            return array(depth);
+          case '"': {
+            Value v;
+            v.kind = Value::Kind::String;
+            v.string = string();
+            return v;
+          }
+          case 't': {
+            literal("true");
+            Value v;
+            v.kind = Value::Kind::Bool;
+            v.boolean = true;
+            return v;
+          }
+          case 'f': {
+            literal("false");
+            Value v;
+            v.kind = Value::Kind::Bool;
+            return v;
+          }
+          case 'n':
+            literal("null");
+            return Value{};
+          default:
+            return number();
+        }
+    }
+
+    Value
+    object(int depth)
+    {
+        expect('{');
+        Value v;
+        v.kind = Value::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return v;
+        while (true) {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            expect(':');
+            v.object.emplace_back(std::move(key), value(depth + 1));
+            skipWs();
+            if (consume('}'))
+                return v;
+            expect(',');
+        }
+    }
+
+    Value
+    array(int depth)
+    {
+        expect('[');
+        Value v;
+        v.kind = Value::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return v;
+        while (true) {
+            v.array.push_back(value(depth + 1));
+            skipWs();
+            if (consume(']'))
+                return v;
+            expect(',');
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                uint32_t cp = hex4();
+                // Surrogate pair -> one code point.
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    if (pos_ + 1 >= text_.size() ||
+                        text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+                        fail("unpaired surrogate");
+                    pos_ += 2;
+                    uint32_t lo = hex4();
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        fail("bad low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    fail("unpaired surrogate");
+                }
+                utf8(out, cp);
+                break;
+              }
+              default:
+                fail("bad escape character");
+            }
+        }
+    }
+
+    uint32_t
+    hex4()
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size())
+                fail("truncated \\u escape");
+            char c = text_[pos_++];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<uint32_t>(c - 'A' + 10);
+            else
+                fail("bad hex digit in \\u escape");
+        }
+        return v;
+    }
+
+    static void
+    utf8(std::string &out, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    Value
+    number()
+    {
+        size_t start = pos_;
+        bool neg = consume('-');
+        if (pos_ >= text_.size() || !std::isdigit(
+                static_cast<unsigned char>(text_[pos_])))
+            fail("bad number");
+        bool integral = true;
+        uint64_t mag = 0;
+        bool overflow = false;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            uint64_t digit = static_cast<uint64_t>(text_[pos_] - '0');
+            if (mag > (UINT64_MAX - digit) / 10)
+                overflow = true;
+            else
+                mag = mag * 10 + digit;
+            ++pos_;
+        }
+        if (consume('.')) {
+            integral = false;
+            if (pos_ >= text_.size() || !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                fail("bad number (digits required after '.')");
+            while (pos_ < text_.size() && std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() || !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                fail("bad number (digits required in exponent)");
+            while (pos_ < text_.size() && std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        Value v;
+        v.kind = Value::Kind::Number;
+        v.number = std::strtod(
+            std::string(text_.substr(start, pos_ - start)).c_str(),
+            nullptr);
+        if (integral && !overflow) {
+            v.isInteger = true;
+            v.integer = mag;
+            v.negative = neg && mag != 0;
+        }
+        return v;
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+const Value *
+Value::get(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+double
+Value::asDouble() const
+{
+    if (kind != Kind::Number)
+        throw ParseError("json: expected a number");
+    return number;
+}
+
+uint64_t
+Value::asU64() const
+{
+    if (kind != Kind::Number || !isInteger || negative)
+        throw ParseError("json: expected an unsigned integer");
+    return integer;
+}
+
+int64_t
+Value::asI64() const
+{
+    if (kind != Kind::Number || !isInteger)
+        throw ParseError("json: expected an integer");
+    if (negative) {
+        if (integer > static_cast<uint64_t>(INT64_MAX) + 1)
+            throw ParseError("json: integer out of int64 range");
+        return -static_cast<int64_t>(integer - 1) - 1;
+    }
+    if (integer > static_cast<uint64_t>(INT64_MAX))
+        throw ParseError("json: integer out of int64 range");
+    return static_cast<int64_t>(integer);
+}
+
+Value
+parse(std::string_view text)
+{
+    return Parser(text).run();
+}
+
+std::string
+escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+quote(std::string_view s)
+{
+    return "\"" + escape(s) + "\"";
+}
+
+} // namespace imagine::service::json

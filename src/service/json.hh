@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal JSON for the simulation service (DESIGN.md section 13).
+ *
+ * The wire protocol is length-prefixed JSON text, so the daemon needs a
+ * parser for *requests* only - responses are assembled as strings so
+ * the engine's RunResult::toJson() bytes can be embedded verbatim
+ * (the remote-equals-local byte-identity contract depends on never
+ * re-serializing the result).  The parser is a small recursive-descent
+ * reader over the full frame: strict (no trailing garbage, no
+ * comments), depth-capped, and integer-preserving (a number without
+ * '.', 'e' or sign loss parses to uint64_t exactly, so 64-bit seeds
+ * survive the trip; everything else is double).
+ *
+ * Errors throw json::ParseError; the protocol layer maps that to a
+ * structured "bad-request" response instead of dropping the
+ * connection.
+ */
+
+#ifndef IMAGINE_SERVICE_JSON_HH
+#define IMAGINE_SERVICE_JSON_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace imagine::service::json
+{
+
+/** Malformed JSON text (position-annotated message). */
+struct ParseError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** One parsed JSON value; object member order is preserved. */
+struct Value
+{
+    enum class Kind : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    uint64_t integer = 0;   ///< exact value when isInteger
+    bool isInteger = false; ///< number had no fraction/exponent/sign loss
+    bool negative = false;  ///< integer carries the magnitude of -integer
+    std::string string;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member by key; null when absent or not an object. */
+    const Value *get(std::string_view key) const;
+
+    /** Number as double (works for integer-kept values too). */
+    double asDouble() const;
+    /** Exact unsigned integer; throws ParseError if not one. */
+    uint64_t asU64() const;
+    /** Signed integer (range-checked); throws ParseError if not one. */
+    int64_t asI64() const;
+};
+
+/**
+ * Parse @p text as exactly one JSON value (leading/trailing whitespace
+ * allowed, anything else after the value is an error).
+ * @throws ParseError
+ */
+Value parse(std::string_view text);
+
+/** @p s with JSON string escaping applied (no surrounding quotes). */
+std::string escape(std::string_view s);
+
+/** Quoted + escaped string literal. */
+std::string quote(std::string_view s);
+
+} // namespace imagine::service::json
+
+#endif // IMAGINE_SERVICE_JSON_HH

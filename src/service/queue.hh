@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Weighted fair admission queue of the simulation service (DESIGN.md
+ * section 13).
+ *
+ * Start-time fair queueing (SFQ): each tenant carries a weight and a
+ * lastFinish virtual timestamp.  When a job is admitted it is stamped
+ *
+ *     start  = max(V, tenant.lastFinish)
+ *     finish = start + 1 / weight
+ *     tenant.lastFinish = finish
+ *
+ * where V is the global virtual clock, advanced to the start tag of
+ * every dequeued job.  Workers always dequeue the smallest start tag
+ * (FIFO within a tenant by construction), so under saturation each
+ * tenant's completion rate converges to its weight share regardless of
+ * how fast it submits - a tenant flooding the queue only queues behind
+ * its own backlog.  With a single tenant the queue degenerates to
+ * plain FIFO.
+ *
+ * Admission is bounded: tryEnqueue() refuses past the cap so the
+ * server can answer "queue-full" instead of buffering without limit.
+ * close() stops admission and lets dequeue() drain the backlog, then
+ * return null to every waiting worker - the drain path's "finish
+ * what was admitted" semantics fall out of that order.
+ *
+ * The queue is job-type-agnostic via shared_ptr<T>; the server
+ * instantiates it with its Job record.  All operations are
+ * mutex-guarded; dequeue() blocks on a condition variable.
+ */
+
+#ifndef IMAGINE_SERVICE_QUEUE_HH
+#define IMAGINE_SERVICE_QUEUE_HH
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace imagine::service
+{
+
+/** Admission/fairness counters of one tenant (stats introspection). */
+struct TenantCounters
+{
+    double weight = 1.0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t queued = 0;    ///< currently waiting
+};
+
+/** Bounded SFQ queue of shared_ptr jobs. */
+template <typename Job>
+class FairQueue
+{
+  public:
+    /** @param capacity max jobs waiting (not counting in service). */
+    explicit FairQueue(size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Admit a job for @p tenant at @p weight.  False when the queue is
+     * full or closed (the caller distinguishes via closed()).
+     */
+    bool
+    tryEnqueue(const std::string &tenant, double weight,
+               std::shared_ptr<Job> job)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        Tenant &t = tenants_[tenant];
+        t.counters.weight = weight;
+        if (closed_ || waiting_.size() >= capacity_) {
+            ++t.counters.rejected;
+            return false;
+        }
+        double start = std::max(vtime_, t.lastFinish);
+        t.lastFinish = start + 1.0 / weight;
+        // tie-break on admission order so equal tags stay FIFO
+        uint64_t seq = seq_++;
+        waiting_.emplace(Key{start, seq}, std::move(job));
+        ++t.counters.admitted;
+        ++t.counters.queued;
+        jobTenant_[seq] = tenant;
+        cv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until a job is available or the queue is closed and empty
+     * (returns null).  Advances the virtual clock to the dequeued
+     * job's start tag.
+     */
+    std::shared_ptr<Job>
+    dequeue()
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return closed_ || !waiting_.empty(); });
+        if (waiting_.empty())
+            return nullptr;
+        auto it = waiting_.begin();
+        vtime_ = std::max(vtime_, it->first.start);
+        std::shared_ptr<Job> job = std::move(it->second);
+        noteRemoved(it->first.seq);
+        waiting_.erase(it);
+        return job;
+    }
+
+    /**
+     * Remove a still-queued job matching @p pred; null when the job
+     * already left the queue (it may be running).
+     */
+    template <typename Pred>
+    std::shared_ptr<Job>
+    removeIf(Pred pred)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+            if (!pred(*it->second))
+                continue;
+            std::shared_ptr<Job> job = std::move(it->second);
+            noteRemoved(it->first.seq);
+            waiting_.erase(it);
+            return job;
+        }
+        return nullptr;
+    }
+
+    /** Stop admitting; wake workers so they drain then observe null. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        closed_ = true;
+        cv_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return closed_;
+    }
+
+    size_t
+    depth() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return waiting_.size();
+    }
+
+    /** Per-tenant counters snapshot, keyed by tenant name. */
+    std::vector<std::pair<std::string, TenantCounters>>
+    tenantCounters() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        std::vector<std::pair<std::string, TenantCounters>> out;
+        out.reserve(tenants_.size());
+        for (const auto &[name, t] : tenants_)
+            out.emplace_back(name, t.counters);
+        return out;
+    }
+
+  private:
+    struct Key
+    {
+        double start;
+        uint64_t seq;
+        bool
+        operator<(const Key &o) const
+        {
+            return start != o.start ? start < o.start : seq < o.seq;
+        }
+    };
+
+    struct Tenant
+    {
+        double lastFinish = 0.0;
+        TenantCounters counters;
+    };
+
+    void
+    noteRemoved(uint64_t seq)
+    {
+        auto jt = jobTenant_.find(seq);
+        if (jt == jobTenant_.end())
+            return;
+        auto t = tenants_.find(jt->second);
+        if (t != tenants_.end() && t->second.counters.queued > 0)
+            --t->second.counters.queued;
+        jobTenant_.erase(jt);
+    }
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    size_t capacity_;
+    bool closed_ = false;
+    double vtime_ = 0.0;
+    uint64_t seq_ = 0;
+    std::map<Key, std::shared_ptr<Job>> waiting_;
+    std::map<uint64_t, std::string> jobTenant_;
+    std::map<std::string, Tenant> tenants_;
+};
+
+} // namespace imagine::service
+
+#endif // IMAGINE_SERVICE_QUEUE_HH

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * isimd's engine room: the simulation service server (DESIGN.md
+ * section 13).
+ *
+ * One Server owns:
+ *  - a listening socket (TCP loopback/host:port, or a Unix-domain
+ *    path) with an accept loop handing each connection to a handler
+ *    thread that reads request frames and writes one response frame
+ *    per request;
+ *  - the bounded weighted-fair admission queue (queue.hh);
+ *  - a persistent worker pool - a SimBatch whose jobs are worker
+ *    loops, so simulation work rides the same deterministic pool,
+ *    cancellation latch and Settled error plumbing as batch
+ *    campaigns, and the process-wide kernel-compile cache stays warm
+ *    across requests;
+ *  - a deadline reaper that flips per-job abort tokens
+ *    (ImagineSystem::setAbortToken) when a request outlives its
+ *    deadlineMs, whether queued or mid-run;
+ *  - a StatsRegistry of service counters (admissions, rejections,
+ *    completions by outcome, queue depth, compile-cache hit rates)
+ *    served by the "stats" op together with latency percentiles and
+ *    per-tenant accounting.
+ *
+ * Drain state machine: Serving -> Draining -> Drained.  drain() stops
+ * admission ("draining" rejections), lets the workers finish every
+ * admitted job, flushes BENCH_service.json, then parks.  stop() is the
+ * hard variant: it additionally aborts in-flight runs (code
+ * "shutdown") before joining.  Both are idempotent and safe from any
+ * thread - including a connection handler serving the "drain" op, and
+ * the SIGTERM path in tools/isimd.cc.
+ */
+
+#ifndef IMAGINE_SERVICE_SERVER_HH
+#define IMAGINE_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hh"
+#include "service/queue.hh"
+#include "service/wire.hh"
+#include "sim/runner.hh"
+#include "sim/stats.hh"
+
+namespace imagine { class ImagineSystem; }
+namespace imagine::apps { struct AppResult; }
+
+namespace imagine::service
+{
+
+/** Everything a Server needs to come up. */
+struct ServerConfig
+{
+    /** TCP listen address; ignored when unixPath is set. */
+    std::string host = "127.0.0.1";
+    /** TCP port; 0 picks an ephemeral port (see Server::port()). */
+    int port = 0;
+    /** When non-empty: listen on this Unix-domain socket instead. */
+    std::string unixPath;
+    /** Simulation worker threads (the SimBatch size). */
+    int workers = 4;
+    /** Admission queue bound; past it runs are rejected queue-full. */
+    size_t queueCapacity = 256;
+    /** Where drain() flushes the service benchmark counters. */
+    std::string benchPath = "BENCH_service.json";
+    /** Frame payload cap for this server (<= kMaxFrameBytes). */
+    uint32_t maxFrameBytes = kMaxFrameBytes;
+};
+
+/** The daemon core; construct, start(), eventually drain() or stop(). */
+class Server
+{
+  public:
+    explicit Server(ServerConfig cfg);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, spin up pool/reaper/accept threads.
+     *  @throws std::runtime_error on bind/listen failure */
+    void start();
+
+    /** Resolved TCP port (after start(); 0 for Unix-domain servers). */
+    int port() const { return port_; }
+
+    /** Graceful: reject new runs, finish all admitted, flush bench. */
+    void drain();
+    /** Hard: drain admission, abort in-flight runs, join everything. */
+    void stop();
+
+    bool draining() const;
+    /** Jobs completed over the server's lifetime (any outcome). */
+    uint64_t completedJobs() const { return counters_.completed; }
+
+  private:
+    enum class State : uint8_t
+    {
+        Idle,
+        Serving,
+        Draining,
+        Drained,
+        Stopped
+    };
+
+    /** One admitted run request. */
+    struct Job
+    {
+        uint64_t id = 0;
+        RunRequest req;
+        std::chrono::steady_clock::time_point admitted;
+        std::chrono::steady_clock::time_point deadline;
+        bool hasDeadline = false;
+        /** 0 none, 1 user cancel, 2 deadline, 3 shutdown. */
+        std::atomic<int> abortReason{0};
+        std::atomic<bool> abort{false};
+        std::promise<std::string> response;
+    };
+
+    /** Monotonically-bumped service counters (all stats-registered). */
+    struct Counters
+    {
+        uint64_t accepted = 0;
+        uint64_t rejectedQueueFull = 0;
+        uint64_t rejectedDraining = 0;
+        uint64_t badRequests = 0;
+        uint64_t badFrames = 0;
+        uint64_t completed = 0;
+        uint64_t succeeded = 0;
+        uint64_t failed = 0;
+        uint64_t canceled = 0;
+        uint64_t deadlineExpired = 0;
+        uint64_t connections = 0;
+    };
+
+    void acceptLoop();
+    void handleConnection(int fd);
+    std::string handleFrame(const std::string &payload);
+    std::string handleRun(RunRequest req);
+    std::string handleCancel(const std::string &tag);
+    std::string handleStats();
+    std::string handleDrain();
+
+    int workerLoop();
+    void execute(const std::shared_ptr<Job> &job);
+    void finishJob(const std::shared_ptr<Job> &job, bool succeeded,
+                   const std::string &response);
+    /** Abort code for a job ("canceled"/"deadline-exceeded"/...). */
+    static std::string abortCode(const Job &job);
+    void reaperLoop();
+    void flushBench() const;
+    std::string metricsJson() const;
+
+    ServerConfig cfg_;
+    int listenFd_ = -1;
+    int port_ = 0;
+
+    mutable std::mutex mu_;
+    std::condition_variable stateCv_;
+    State state_ = State::Idle;
+    uint64_t nextJobId_ = 1;
+    std::map<uint64_t, std::shared_ptr<Job>> active_;
+    std::map<std::string, uint64_t> completedByTenant_;
+    Counters counters_;
+    std::vector<double> latenciesMs_;   ///< completion reservoir
+    size_t latencyCursor_ = 0;
+
+    FairQueue<Job> queue_;
+    SimBatch batch_;
+    std::thread poolThread_;
+    std::thread acceptThread_;
+    std::thread reaperThread_;
+    std::atomic<bool> reaperStop_{false};
+
+    std::mutex connMu_;
+    std::vector<std::thread> connThreads_;
+    std::vector<int> connFds_;
+
+    StatsRegistry statsReg_;
+};
+
+/**
+ * Validate @p req's params and run its workload on @p sys; returns
+ * the app result.  Shared by the server worker and in-process tests.
+ * @throws ProtocolError("bad-request") on unknown/invalid params
+ * @throws SimError as the engine does
+ */
+apps::AppResult runWorkload(ImagineSystem &sys, const RunRequest &req);
+
+} // namespace imagine::service
+
+#endif // IMAGINE_SERVICE_SERVER_HH

@@ -1,0 +1,120 @@
+#include "service/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace imagine::service
+{
+
+namespace
+{
+
+/** Read exactly @p n bytes; 1 ok, 0 clean EOF at offset 0, -1 error. */
+int
+readAll(int fd, void *buf, size_t n, bool *sawAny)
+{
+    char *p = static_cast<char *>(buf);
+    size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::read(fd, p + got, n - got);
+        if (r > 0) {
+            got += static_cast<size_t>(r);
+            if (sawAny)
+                *sawAny = true;
+            continue;
+        }
+        if (r == 0)
+            return got == 0 ? 0 : -2;   // -2: truncated mid-read
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+    return 1;
+}
+
+} // namespace
+
+const char *
+wireStatusName(WireStatus s)
+{
+    switch (s) {
+      case WireStatus::Ok: return "ok";
+      case WireStatus::Eof: return "eof";
+      case WireStatus::BadMagic: return "bad-magic";
+      case WireStatus::TooLarge: return "frame-too-large";
+      case WireStatus::Truncated: return "truncated-frame";
+      case WireStatus::IoError: return "io-error";
+    }
+    return "?";
+}
+
+WireStatus
+readFrame(int fd, std::string &payload, uint32_t maxBytes)
+{
+    payload.clear();
+    uint32_t header[2];
+    bool sawAny = false;
+    int r = readAll(fd, &header[0], sizeof(header[0]), &sawAny);
+    if (r == 0)
+        return WireStatus::Eof;
+    if (r == -2)
+        return WireStatus::Truncated;
+    if (r < 0)
+        return WireStatus::IoError;
+    if (header[0] != kWireMagic)
+        return WireStatus::BadMagic;
+    r = readAll(fd, &header[1], sizeof(header[1]), nullptr);
+    if (r == -2 || r == 0)
+        return WireStatus::Truncated;
+    if (r < 0)
+        return WireStatus::IoError;
+    if (maxBytes > kMaxFrameBytes)
+        maxBytes = kMaxFrameBytes;
+    if (header[1] > maxBytes)
+        return WireStatus::TooLarge;
+    payload.resize(header[1]);
+    if (header[1] == 0)
+        return WireStatus::Ok;
+    r = readAll(fd, payload.data(), payload.size(), nullptr);
+    if (r == -2 || r == 0)
+        return WireStatus::Truncated;
+    if (r < 0)
+        return WireStatus::IoError;
+    return WireStatus::Ok;
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    std::string frame;
+    frame.reserve(8 + payload.size());
+    uint32_t header[2] = {kWireMagic,
+                          static_cast<uint32_t>(payload.size())};
+    frame.append(reinterpret_cast<const char *>(header), sizeof(header));
+    frame.append(payload);
+    size_t sent = 0;
+    while (sent < frame.size()) {
+        // MSG_NOSIGNAL: a vanished peer must surface as an error
+        // return, not SIGPIPE (works on pipes/socketpairs too via
+        // send() only accepting sockets - fall back to write there).
+        ssize_t w = ::send(fd, frame.data() + sent, frame.size() - sent,
+                           MSG_NOSIGNAL);
+        if (w < 0 && errno == ENOTSOCK)
+            w = ::write(fd, frame.data() + sent, frame.size() - sent);
+        if (w > 0) {
+            sent += static_cast<size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace imagine::service

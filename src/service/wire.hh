@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Wire framing for the simulation service (DESIGN.md section 13).
+ *
+ * A frame is:
+ *
+ *     u32 magic  "IMS1" (0x31534d49 little-endian)
+ *     u32 length payload bytes that follow (<= kMaxFrameBytes)
+ *     ...        payload: one UTF-8 JSON document
+ *
+ * Both directions use the same frame; a connection is a sequence of
+ * request frames each answered by exactly one response frame.  The
+ * reader is deliberately paranoid - bad magic, an implausible length
+ * and a short read each map to a distinct WireStatus so the server can
+ * answer malformed traffic with a structured error (or close, for
+ * frames too broken to answer) instead of crashing or hanging
+ * (tests/service_test.cc drives each case over a socketpair).
+ *
+ * All I/O is blocking with EINTR retry; writev-style partial writes
+ * are completed in a loop.  Nothing here knows about JSON - framing
+ * and payload interpretation are separate layers.
+ */
+
+#ifndef IMAGINE_SERVICE_WIRE_HH
+#define IMAGINE_SERVICE_WIRE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace imagine::service
+{
+
+/** Frame magic: "IMS1" when read as bytes on a little-endian host. */
+inline constexpr uint32_t kWireMagic = 0x31534d49u;
+
+/** Hard cap on a frame payload (requests and responses). */
+inline constexpr uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
+
+/** Outcome of reading one frame. */
+enum class WireStatus : uint8_t
+{
+    Ok,         ///< payload filled
+    Eof,        ///< clean end of stream before any frame byte
+    BadMagic,   ///< first u32 was not kWireMagic
+    TooLarge,   ///< length field exceeded the cap
+    Truncated,  ///< stream ended mid-header or mid-payload
+    IoError     ///< read(2)/write(2) failed (errno-level)
+};
+
+/** Human-readable name of @p s (error messages and logs). */
+const char *wireStatusName(WireStatus s);
+
+/**
+ * Read one frame from @p fd into @p payload.
+ * @param maxBytes reject length fields above this (cap kMaxFrameBytes)
+ */
+WireStatus readFrame(int fd, std::string &payload,
+                     uint32_t maxBytes = kMaxFrameBytes);
+
+/** Write one frame; false on any I/O failure (peer gone). */
+bool writeFrame(int fd, const std::string &payload);
+
+} // namespace imagine::service
+
+#endif // IMAGINE_SERVICE_WIRE_HH

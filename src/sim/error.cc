@@ -14,6 +14,7 @@ simErrorKindName(SimErrorKind kind)
       case SimErrorKind::Hang: return "hang";
       case SimErrorKind::MemoryBounds: return "memory-bounds";
       case SimErrorKind::UnrecoveredFault: return "unrecovered-fault";
+      case SimErrorKind::Canceled: return "canceled";
     }
     return "unknown";
 }

@@ -31,7 +31,8 @@ enum class SimErrorKind : uint8_t
     Panic,              ///< internal model inconsistency
     Hang,               ///< forward-progress watchdog fired
     MemoryBounds,       ///< access outside the 256 MB board address space
-    UnrecoveredFault    ///< fault detected, retry budget exhausted
+    UnrecoveredFault,   ///< fault detected, retry budget exhausted
+    Canceled            ///< cooperative abort (deadline, drain, cancel)
 };
 
 const char *simErrorKindName(SimErrorKind kind);

@@ -70,6 +70,22 @@ class SimBatch
     int threads() const { return threads_; }
 
     /**
+     * Cooperative cancellation.  cancelPending() latches the batch's
+     * abort flag: jobs that have not started yet settle immediately as
+     * SimError(Canceled) instead of running (in run() the lowest-index
+     * one is rethrown after the batch drains).  Jobs already running
+     * are only interrupted if they opted in by passing abortToken() to
+     * their session's ImagineSystem::setAbortToken() - the engine then
+     * raises SimError(Canceled) at its next loop boundary, so neither a
+     * deadline nor a drain has to wait out a full run.  The flag is
+     * sticky for the lifetime of the SimBatch.
+     */
+    void cancelPending() { cancel_.store(true); }
+    bool cancelRequested() const { return cancel_.load(); }
+    /** The batch-wide abort flag, for jobs to wire into their session. */
+    const std::atomic<bool> *abortToken() const { return &cancel_; }
+
+    /**
      * Run fn(i) for every i in [0, jobs); return the results in index
      * order.  fn must be callable from any thread and should construct
      * its own ImagineSystem (sessions are engine-private; sharing one
@@ -81,34 +97,9 @@ class SimBatch
     run(int jobs, Fn &&fn) -> std::vector<std::invoke_result_t<Fn &, int>>
     {
         using R = std::invoke_result_t<Fn &, int>;
-        static_assert(!std::is_void_v<R>,
-                      "SimBatch jobs must return a value");
-        std::vector<std::optional<R>> slots(
-            static_cast<size_t>(jobs < 0 ? 0 : jobs));
-        std::vector<std::exception_ptr> errors(slots.size());
-        std::atomic<int> next{0};
-
-        auto worker = [&] {
-            for (int i = next.fetch_add(1); i < jobs;
-                 i = next.fetch_add(1)) {
-                size_t s = static_cast<size_t>(i);
-                try {
-                    slots[s].emplace(fn(i));
-                } catch (...) {
-                    errors[s] = std::current_exception();
-                }
-            }
-        };
-
-        int pool = std::min(threads_, jobs) - 1;    // caller works too
-        std::vector<std::thread> workers;
-        workers.reserve(static_cast<size_t>(pool > 0 ? pool : 0));
-        for (int t = 0; t < pool; ++t)
-            workers.emplace_back(worker);
-        worker();
-        for (std::thread &t : workers)
-            t.join();
-
+        std::vector<std::optional<R>> slots;
+        std::vector<std::exception_ptr> errors;
+        runRaw(jobs, fn, slots, errors);
         for (const std::exception_ptr &e : errors)
             if (e)
                 std::rethrow_exception(e);
@@ -147,7 +138,28 @@ class SimBatch
             }
             return s;
         };
-        std::vector<Settled<R>> out = run(jobs, settle);
+        std::vector<std::optional<Settled<R>>> slots;
+        std::vector<std::exception_ptr> errors;
+        runRaw(jobs, settle, slots, errors);
+        std::vector<Settled<R>> out;
+        out.reserve(slots.size());
+        for (size_t i = 0; i < slots.size(); ++i) {
+            if (slots[i]) {
+                out.push_back(std::move(*slots[i]));
+                continue;
+            }
+            // A never-started slot: worker-level cancellation (settle
+            // itself is total, so nothing else leaves a slot empty).
+            Settled<R> s;
+            try {
+                std::rethrow_exception(errors[i]);
+            } catch (const SimError &e) {
+                s.error.emplace(e);
+            } catch (const std::exception &e) {
+                s.error.emplace(SimErrorKind::Panic, e.what());
+            }
+            out.push_back(std::move(s));
+        }
         for (const Settled<R> &s : out)
             if (!s.ok())
                 ++failures_;
@@ -158,8 +170,53 @@ class SimBatch
     uint64_t failures() const { return failures_; }
 
   private:
+    /**
+     * The shared pool core: fill slots[i] with fn(i) or errors[i] with
+     * what it threw.  A job reached after cancelPending() is skipped
+     * and its error slot carries SimError(Canceled).
+     */
+    template <typename Fn, typename R>
+    void
+    runRaw(int jobs, Fn &fn, std::vector<std::optional<R>> &slots,
+           std::vector<std::exception_ptr> &errors)
+    {
+        static_assert(!std::is_void_v<R>,
+                      "SimBatch jobs must return a value");
+        slots.resize(static_cast<size_t>(jobs < 0 ? 0 : jobs));
+        errors.resize(slots.size());
+        std::atomic<int> next{0};
+
+        auto worker = [&] {
+            for (int i = next.fetch_add(1); i < jobs;
+                 i = next.fetch_add(1)) {
+                size_t s = static_cast<size_t>(i);
+                if (cancel_.load(std::memory_order_relaxed)) {
+                    errors[s] = std::make_exception_ptr(SimError(
+                        SimErrorKind::Canceled,
+                        "batch job canceled before it started"));
+                    continue;
+                }
+                try {
+                    slots[s].emplace(fn(i));
+                } catch (...) {
+                    errors[s] = std::current_exception();
+                }
+            }
+        };
+
+        int pool = std::min(threads_, jobs) - 1;    // caller works too
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<size_t>(pool > 0 ? pool : 0));
+        for (int t = 0; t < pool; ++t)
+            workers.emplace_back(worker);
+        worker();
+        for (std::thread &t : workers)
+            t.join();
+    }
+
     int threads_;
     uint64_t failures_ = 0;
+    std::atomic<bool> cancel_{false};
 };
 
 } // namespace imagine

@@ -196,6 +196,49 @@ StatsRegistry::restore(const StatsSnapshot &s)
             *stats_[i].ptr = s.values_[i];
 }
 
+std::vector<std::string>
+StatsRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(stats_.size());
+    for (const Stat &st : stats_)
+        out.push_back(st.name);
+    return out;
+}
+
+StatsSnapshot
+StatsRegistry::mergeSnapshot(const std::vector<std::string> &names,
+                             const std::vector<uint64_t> &values) const
+{
+    IMAGINE_ASSERT(names.size() == values.size(),
+                   "mergeSnapshot: %zu names but %zu values",
+                   names.size(), values.size());
+    StatsSnapshot s = snapshot();
+    for (size_t i = 0; i < names.size(); ++i) {
+        auto it = index_.find(names[i]);
+        if (it != index_.end())
+            s.values_[it->second] = values[i];
+    }
+    return s;
+}
+
+void
+StatsRegistry::restoreNamed(const std::vector<std::string> &names,
+                            const std::vector<uint64_t> &values)
+{
+    IMAGINE_ASSERT(names.size() == values.size(),
+                   "restoreNamed: %zu names but %zu values",
+                   names.size(), values.size());
+    for (size_t i = 0; i < names.size(); ++i) {
+        auto it = index_.find(names[i]);
+        if (it == index_.end())
+            continue;
+        Stat &st = stats_[it->second];
+        if (st.ptr)
+            *st.ptr = values[i];
+    }
+}
+
 void
 StatsRegistry::reset()
 {

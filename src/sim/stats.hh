@@ -109,6 +109,8 @@ class StatsRegistry
     static size_t bucketOf(uint64_t sample, size_t n);
 
     size_t numStats() const { return stats_.size(); }
+    /** Every stat name, in registration order (checkpoint metadata). */
+    std::vector<std::string> names() const;
 
     StatsSnapshot snapshot() const;
     /** What every stat accumulated since @p since. */
@@ -130,6 +132,25 @@ class StatsRegistry
      * the registry shape must match the one that took the snapshot.
      */
     void restore(const StatsSnapshot &s);
+    /**
+     * Name-matched variants for registries whose shape may differ from
+     * the one that took the snapshot - the checkpoint/restore path,
+     * where the restoring session's engine knobs (tracing on/off) may
+     * legitimately register a different stat set than the writer's
+     * (DESIGN.md section 11).  @p names are the writer's stat names in
+     * its registration order, @p values the matching snapshot values.
+     *
+     * mergeSnapshot() builds a snapshot in *this* registry's shape:
+     * stats the writer also had take the saved value, stats only this
+     * registry has keep their current value (so deltas over them count
+     * from the merge point).  restoreNamed() writes the saved value of
+     * every name registered here through its pointer; saved names this
+     * registry lacks, and callback-backed stats, are skipped.
+     */
+    StatsSnapshot mergeSnapshot(const std::vector<std::string> &names,
+                                const std::vector<uint64_t> &values) const;
+    void restoreNamed(const std::vector<std::string> &names,
+                      const std::vector<uint64_t> &values);
     /** Zero every pointer-backed stat. */
     void reset();
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -109,6 +110,83 @@ TEST(SimBatchTest, FailureCountAccumulatesAcrossCampaigns)
         throw SimError(SimErrorKind::Panic, "boom");
     });
     EXPECT_EQ(batch.failures(), 3u);
+}
+
+TEST(SimBatchTest, CancelPendingSettlesUnstartedJobsAsCanceled)
+{
+    // Single worker thread makes the cutoff deterministic: job 3 latches
+    // the flag, so 0..3 ran and 4..9 settle as Canceled without running.
+    SimBatch batch(1);
+    std::atomic<int> ran{0};
+    std::vector<Settled<int>> r = batch.runSettled(10, [&](int i) {
+        ran.fetch_add(1);
+        if (i == 3)
+            batch.cancelPending();
+        return i;
+    });
+    EXPECT_TRUE(batch.cancelRequested());
+    EXPECT_EQ(ran.load(), 4);
+    ASSERT_EQ(r.size(), 10u);
+    for (int i = 0; i < 10; ++i) {
+        const Settled<int> &s = r[static_cast<size_t>(i)];
+        if (i <= 3) {
+            ASSERT_TRUE(s.ok()) << i;
+            EXPECT_EQ(*s.value, i);
+        } else {
+            ASSERT_FALSE(s.ok()) << i;
+            EXPECT_EQ(s.error->kind(), SimErrorKind::Canceled);
+        }
+    }
+    EXPECT_EQ(batch.failures(), 6u);
+
+    // The flag is sticky: a later campaign on the same batch runs
+    // nothing.
+    std::vector<Settled<int>> r2 =
+        batch.runSettled(3, [](int i) { return i; });
+    for (const Settled<int> &s : r2) {
+        ASSERT_FALSE(s.ok());
+        EXPECT_EQ(s.error->kind(), SimErrorKind::Canceled);
+    }
+}
+
+TEST(SimBatchTest, CancelPendingRethrowsCanceledFromRun)
+{
+    SimBatch batch(1);
+    batch.cancelPending();
+    try {
+        batch.run(4, [](int i) { return i; });
+        FAIL() << "expected SimError(Canceled)";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Canceled);
+    }
+}
+
+TEST(SimBatchTest, AbortTokenStopsRunningSessionsWithoutCrashSnapshot)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() / "imagine_batch_abort";
+    fs::create_directories(dir);
+    std::string ckpt = (dir / "job.ckpt").string();
+
+    SimBatch batch(1);
+    batch.cancelPending();
+    MachineConfig cfg = MachineConfig::devBoard();
+    cfg.checkpointPath = ckpt;
+    ImagineSystem sys(cfg);
+    sys.setAbortToken(batch.abortToken());
+    QrdConfig qc;
+    qc.rows = 64;
+    qc.cols = 16;
+    try {
+        runQrd(sys, qc);
+        FAIL() << "expected SimError(Canceled)";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Canceled);
+    }
+    // A cancellation is not a crash: no diagnostic snapshot appears.
+    EXPECT_FALSE(fs::exists(ckpt + ".crash"));
+    std::error_code ec;
+    fs::remove_all(dir, ec);
 }
 
 namespace

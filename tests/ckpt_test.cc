@@ -298,6 +298,117 @@ TEST(CkptTest, MismatchedRestoreIsRejected)
     fs::remove_all(dir, ec);
 }
 
+namespace
+{
+
+/** toJson() with any trailing ,"trace":... analytics stripped. */
+std::string
+stripTrace(const std::string &json)
+{
+    size_t p = json.find(",\"trace\":");
+    return p == std::string::npos ? json : json.substr(0, p) + "}";
+}
+
+/**
+ * Run qrd 64x16 with periodic checkpoints and archive the snapshots;
+ * returns the run's JSON and fills @p snaps.
+ */
+std::string
+archiveQrd(MachineConfig cfg, const fs::path &dir, const char *side,
+           std::vector<std::string> &snaps)
+{
+    cfg.checkpointEveryCycles = 5'000;
+    cfg.checkpointPath = (dir / (std::string(side) + ".ckpt")).string();
+    ImagineSystem sys(cfg);
+    sys.setCheckpointHook([&](Cycle, const std::string &p) {
+        std::string dst = (dir / (std::string(side) + "." +
+                                  std::to_string(snaps.size()) + ".ckpt"))
+                              .string();
+        fs::copy_file(p, dst, fs::copy_options::overwrite_existing);
+        snaps.push_back(dst);
+    });
+    QrdConfig qc;
+    qc.rows = 64;
+    qc.cols = 16;
+    return runQrd(sys, qc).run.toJson();
+}
+
+std::string
+restoredQrdJson(MachineConfig cfg, const std::string &snap,
+                bool *traced = nullptr)
+{
+    cfg.restorePath = snap;
+    ImagineSystem sys(cfg);
+    QrdConfig qc;
+    qc.rows = 64;
+    qc.cols = 16;
+    AppResult r = runQrd(sys, qc);
+    if (traced)
+        *traced = r.run.trace != nullptr;
+    return r.run.toJson();
+}
+
+} // namespace
+
+/**
+ * PR 6 leftover: restore must honor the *restoring* run's trace knobs.
+ * The headline use is fast-forwarding an untraced run to a region of
+ * interest, then restoring with cfg.trace on so the ~27% tracer
+ * overhead is paid only over the tail.  Before the name-matched stats
+ * transfer this panicked with a registry-shape mismatch (74 vs 86
+ * stats); this is the regression test for both mismatch directions.
+ */
+TEST(CkptTest, RestoreHonorsRestoringRunsTraceKnobs)
+{
+    fs::path dir = fs::temp_directory_path() / "imagine_ckpt_rearm";
+    fs::create_directories(dir);
+
+    // Reference: straight untraced run (its JSON is the golden bytes).
+    std::string golden;
+    {
+        ImagineSystem sys(MachineConfig::devBoard());
+        QrdConfig qc;
+        qc.rows = 64;
+        qc.cols = 16;
+        golden = runQrd(sys, qc).run.toJson();
+    }
+
+    // Untraced checkpointing run -> restore WITH tracing: the restored
+    // run must complete, attach trace analytics covering the tail, and
+    // agree byte-for-byte with the golden run outside the trace object.
+    std::vector<std::string> plainSnaps;
+    archiveQrd(MachineConfig::devBoard(), dir, "plain", plainSnaps);
+    ASSERT_GE(plainSnaps.size(), 2u);
+    {
+        MachineConfig cfg = MachineConfig::devBoard();
+        cfg.trace = true;
+        bool traced = false;
+        std::string json = restoredQrdJson(
+            cfg, plainSnaps[plainSnaps.size() / 2], &traced);
+        EXPECT_TRUE(traced) << "restoring run's trace knob was dropped";
+        EXPECT_NE(json.find("\"trace\":"), std::string::npos);
+        EXPECT_EQ(stripTrace(json), golden);
+    }
+
+    // Traced checkpointing run -> restore WITHOUT tracing: the extra
+    // trace.* stats in the file must be dropped by name, yielding the
+    // golden bytes exactly.
+    {
+        MachineConfig cfg = MachineConfig::devBoard();
+        cfg.trace = true;
+        std::vector<std::string> tracedSnaps;
+        archiveQrd(cfg, dir, "traced", tracedSnaps);
+        ASSERT_GE(tracedSnaps.size(), 2u);
+        std::string json = restoredQrdJson(
+            MachineConfig::devBoard(),
+            tracedSnaps[tracedSnaps.size() / 2]);
+        EXPECT_EQ(json, golden);
+    }
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+}
+
 TEST(CkptTest, DifferentialDepth)
 {
     differential("depth", [](ImagineSystem &sys) {

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * isimc - command-line client for isimd.
+ *
+ *   isimc --connect=SPEC run WORKLOAD [options]
+ *   isimc --connect=SPEC stats
+ *   isimc --connect=SPEC cancel TAG
+ *   isimc --connect=SPEC drain
+ *   isimc --connect=SPEC ping
+ *
+ * SPEC is HOST:PORT or unix:PATH.  run options:
+ *
+ *   --tenant=NAME       fair-queue tenant (default "default")
+ *   --weight=W          tenant weight (positive; default 1)
+ *   --tag=S             cancel handle for this job
+ *   --seed=N            app input + fault seed
+ *   --deadline-ms=N     admission-to-completion bound
+ *   --preset=P          devBoard | isim
+ *   --config K=V        MachineConfig override (repeatable; booleans
+ *                       true/false, strings bare)
+ *   --param K=N         workload knob, e.g. rows=64 (repeatable)
+ *   --result-only       print just the embedded RunResult JSON
+ *
+ * Prints the response payload (or the extracted result) to stdout;
+ * exits 0 on an ok:true response, 1 on a structured error, 2 on
+ * usage/transport problems.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/client.hh"
+#include "service/json.hh"
+
+using namespace imagine::service;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: isimc --connect=SPEC "
+                 "run|stats|cancel|drain|ping [options]\n"
+                 "  (see tools/isimc.cc header for run options)\n");
+    std::exit(2);
+}
+
+/** K=V -> JSON member, guessing the value type like a shell user
+ *  expects: true/false, numbers, else a quoted string. */
+std::string
+member(const char *kv)
+{
+    const char *eq = std::strchr(kv, '=');
+    if (!eq || eq == kv)
+        usage();
+    std::string key(kv, static_cast<size_t>(eq - kv));
+    std::string val = eq + 1;
+    std::string out = json::quote(key) + ":";
+    if (val == "true" || val == "false")
+        return out + val;
+    char *end = nullptr;
+    std::strtod(val.c_str(), &end);
+    if (end && *end == '\0' && !val.empty())
+        return out + val;
+    return out + json::quote(val);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    const char *spec = nullptr;
+    const char *cmd = nullptr;
+    std::string tenant, tag, preset;
+    std::vector<std::string> config, params;
+    const char *weight = nullptr, *seed = nullptr, *deadline = nullptr;
+    bool resultOnly = false;
+    const char *cancelTag = nullptr;
+    const char *workload = nullptr;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto val = [&](const char *key) -> const char * {
+            size_t n = std::strlen(key);
+            return std::strncmp(arg, key, n) == 0 ? arg + n : nullptr;
+        };
+        if (const char *v = val("--connect="))
+            spec = v;
+        else if (const char *v2 = val("--tenant="))
+            tenant = v2;
+        else if (const char *v3 = val("--tag="))
+            tag = v3;
+        else if (const char *v4 = val("--weight="))
+            weight = v4;
+        else if (const char *v5 = val("--seed="))
+            seed = v5;
+        else if (const char *v6 = val("--deadline-ms="))
+            deadline = v6;
+        else if (const char *v7 = val("--preset="))
+            preset = v7;
+        else if (std::strcmp(arg, "--config") == 0 && i + 1 < argc)
+            config.push_back(member(argv[++i]));
+        else if (std::strcmp(arg, "--param") == 0 && i + 1 < argc)
+            params.push_back(member(argv[++i]));
+        else if (std::strcmp(arg, "--result-only") == 0)
+            resultOnly = true;
+        else if (arg[0] == '-')
+            usage();
+        else if (!cmd)
+            cmd = arg;
+        else if (std::strcmp(cmd, "run") == 0 && !workload)
+            workload = arg;
+        else if (std::strcmp(cmd, "cancel") == 0 && !cancelTag)
+            cancelTag = arg;
+        else
+            usage();
+    }
+    if (!spec || !cmd)
+        usage();
+
+    std::string payload;
+    if (std::strcmp(cmd, "ping") == 0 ||
+        std::strcmp(cmd, "stats") == 0 ||
+        std::strcmp(cmd, "drain") == 0) {
+        payload = std::string("{\"op\":\"") + cmd + "\"}";
+    } else if (std::strcmp(cmd, "cancel") == 0) {
+        if (!cancelTag)
+            usage();
+        payload = "{\"op\":\"cancel\",\"tag\":" + json::quote(cancelTag) +
+                  "}";
+    } else if (std::strcmp(cmd, "run") == 0) {
+        if (!workload)
+            usage();
+        payload = "{\"op\":\"run\",\"workload\":" + json::quote(workload);
+        if (!tenant.empty())
+            payload += ",\"tenant\":" + json::quote(tenant);
+        if (weight)
+            payload += std::string(",\"weight\":") + weight;
+        if (!tag.empty())
+            payload += ",\"tag\":" + json::quote(tag);
+        if (seed)
+            payload += std::string(",\"seed\":") + seed;
+        if (deadline)
+            payload += std::string(",\"deadlineMs\":") + deadline;
+        if (!preset.empty())
+            payload += ",\"preset\":" + json::quote(preset);
+        if (!config.empty()) {
+            payload += ",\"config\":{";
+            for (size_t i = 0; i < config.size(); ++i)
+                payload += (i ? "," : "") + config[i];
+            payload += "}";
+        }
+        if (!params.empty()) {
+            payload += ",\"params\":{";
+            for (size_t i = 0; i < params.size(); ++i)
+                payload += (i ? "," : "") + params[i];
+            payload += "}";
+        }
+        payload += "}";
+    } else {
+        usage();
+    }
+
+    Client client(spec);
+    std::string response = client.call(payload);
+    if (resultOnly) {
+        std::string result = Client::extractResult(response);
+        if (result.empty()) {
+            std::fprintf(stderr, "isimc: no result in response: %s\n",
+                         response.c_str());
+            return 1;
+        }
+        std::printf("%s\n", result.c_str());
+        return 0;
+    }
+    std::printf("%s\n", response.c_str());
+    return response.rfind("{\"ok\":true", 0) == 0 ? 0 : 1;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "isimc: %s\n", e.what());
+    return 2;
+}

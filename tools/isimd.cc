@@ -1,0 +1,141 @@
+/**
+ * @file
+ * isimd - the simulation-as-a-service daemon (DESIGN.md section 13).
+ *
+ *   ./tools/isimd [--listen=HOST:PORT | --listen=unix:PATH]
+ *                 [--workers=N] [--queue-cap=N]
+ *                 [--bench-out=FILE] [--port-file=FILE]
+ *
+ * Serves run/stats/cancel/drain/ping requests over the length-prefixed
+ * JSON wire protocol (service/protocol.hh).  The worker pool and the
+ * process-wide kernel-compile cache persist across requests, so a
+ * fleet of small simulations amortizes kernel scheduling the way one
+ * long-lived SimBatch campaign does.
+ *
+ * --port-file writes the resolved TCP port (one line) once listening -
+ * the handshake scripts and CI use it with --listen=127.0.0.1:0 to
+ * avoid port races.
+ *
+ * Shutdown: SIGTERM or SIGINT triggers a graceful drain (stop
+ * admitting, finish everything admitted, flush the bench counters),
+ * as does a client "drain" request; the daemon exits 0 once drained.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "service/server.hh"
+
+using namespace imagine::service;
+
+namespace
+{
+
+std::atomic<int> gSignal{0};
+
+void
+onSignal(int sig)
+{
+    gSignal.store(sig);
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--listen=HOST:PORT|--listen=unix:PATH] "
+        "[--workers=N]\n             [--queue-cap=N] "
+        "[--bench-out=FILE] [--port-file=FILE]\n",
+        argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    ServerConfig cfg;
+    const char *portFile = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto val = [&](const char *key) -> const char * {
+            size_t n = std::strlen(key);
+            return std::strncmp(arg, key, n) == 0 ? arg + n : nullptr;
+        };
+        if (const char *v = val("--listen=")) {
+            if (std::strncmp(v, "unix:", 5) == 0) {
+                cfg.unixPath = v + 5;
+            } else {
+                const char *colon = std::strrchr(v, ':');
+                if (!colon)
+                    usage(argv[0]);
+                cfg.host.assign(v, static_cast<size_t>(colon - v));
+                cfg.port = std::atoi(colon + 1);
+            }
+        } else if (const char *v2 = val("--workers=")) {
+            cfg.workers = std::atoi(v2);
+            if (cfg.workers < 1)
+                usage(argv[0]);
+        } else if (const char *v3 = val("--queue-cap=")) {
+            long cap = std::atol(v3);
+            if (cap < 1)
+                usage(argv[0]);
+            cfg.queueCapacity = static_cast<size_t>(cap);
+        } else if (const char *v4 = val("--bench-out=")) {
+            cfg.benchPath = v4;
+        } else if (const char *v5 = val("--port-file=")) {
+            portFile = v5;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    Server server(cfg);
+    server.start();
+    if (cfg.unixPath.empty())
+        std::fprintf(stderr, "isimd: listening on %s:%d (%d workers)\n",
+                     cfg.host.c_str(), server.port(), cfg.workers);
+    else
+        std::fprintf(stderr, "isimd: listening on unix:%s (%d workers)\n",
+                     cfg.unixPath.c_str(), cfg.workers);
+    if (portFile) {
+        std::FILE *f = std::fopen(portFile, "w");
+        if (!f) {
+            std::fprintf(stderr, "isimd: cannot write %s\n", portFile);
+            return 1;
+        }
+        std::fprintf(f, "%d\n", server.port());
+        std::fclose(f);
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // Park until a signal or a client-driven drain finishes the
+    // service.  The 100 ms poll only paces shutdown detection; all
+    // request work happens on the server's own threads.
+    while (gSignal.load() == 0 && !server.draining())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    int sig = gSignal.load();
+    if (sig)
+        std::fprintf(stderr, "isimd: signal %d: draining\n", sig);
+    server.drain();
+    std::fprintf(stderr,
+                 "isimd: drained after %llu jobs; bench counters in %s\n",
+                 static_cast<unsigned long long>(server.completedJobs()),
+                 cfg.benchPath.c_str());
+    server.stop();
+    return 0;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "isimd: %s\n", e.what());
+    return 1;
+}
